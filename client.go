@@ -1,0 +1,189 @@
+package dnsttl
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"dnsttl/internal/authoritative"
+	"dnsttl/internal/cache"
+	"dnsttl/internal/resolver"
+	"dnsttl/internal/simnet"
+	"dnsttl/internal/zone"
+)
+
+// Result is a completed client resolution: the response message plus the
+// trace the paper's measurements are built from (latency, cache hit,
+// answered TTL, final server).
+type Result = resolver.Result
+
+// Exchanger moves one wire-format query to a server and returns the reply;
+// both the in-memory simulation network and UDPNet implement it.
+type Exchanger = simnet.Exchanger
+
+// UDPNet is an Exchanger over real UDP sockets, so the Client can resolve
+// against actual nameservers (or the package's own Server instances bound
+// to localhost). Truncated UDP responses are retried over TCP
+// automatically, per RFC 1035 §4.2.2.
+type UDPNet struct {
+	// Port is the destination port; 0 means 53.
+	Port uint16
+	// TCPPort is the fallback port for truncated responses; 0 means Port.
+	TCPPort uint16
+	// Timeout per exchange; 0 means 5 s.
+	Timeout time.Duration
+	// DisableTCPFallback turns off the truncation retry.
+	DisableTCPFallback bool
+}
+
+// Exchange implements Exchanger.
+func (u UDPNet) Exchange(src, dst netip.Addr, query []byte) ([]byte, time.Duration, error) {
+	port := u.Port
+	if port == 0 {
+		port = 53
+	}
+	timeout := u.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	resp, rtt, err := authoritative.UDPExchange(netip.AddrPortFrom(dst, port), query, timeout)
+	if err != nil {
+		return resp, rtt, err
+	}
+	// TC bit set? Retry over TCP for the full answer.
+	if !u.DisableTCPFallback && len(resp) >= 4 && resp[2]&0x02 != 0 {
+		tcpPort := u.TCPPort
+		if tcpPort == 0 {
+			tcpPort = port
+		}
+		tcpResp, tcpRTT, tcpErr := authoritative.TCPExchange(netip.AddrPortFrom(dst, tcpPort), query, timeout)
+		if tcpErr == nil {
+			return tcpResp, rtt + tcpRTT, nil
+		}
+	}
+	return resp, rtt, nil
+}
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// Policy selects the behavioral family; zero value means
+	// DefaultPolicy.
+	Policy Policy
+	// Roots are the root server addresses to iterate from.
+	Roots []netip.Addr
+	// Net carries queries; nil means real UDP on port 53.
+	Net Exchanger
+	// Clock drives TTL decay; nil means wall clock.
+	Clock Clock
+	// LocalRoot is the RFC 7706 mirror for policies that use one.
+	LocalRoot *Zone
+	// Seed makes server selection and query IDs deterministic; 0 uses 1.
+	Seed int64
+}
+
+// Client is an iterative caching DNS resolver — the library's front door
+// for resolution.
+type Client struct {
+	r *resolver.Resolver
+}
+
+// NewClient builds a Client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Roots) == 0 {
+		return nil, fmt.Errorf("dnsttl: NewClient requires at least one root address")
+	}
+	if cfg.Net == nil {
+		cfg.Net = UDPNet{}
+	}
+	if cfg.Policy == (Policy{}) {
+		cfg.Policy = DefaultPolicy()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	r := resolver.New(netip.MustParseAddr("127.0.0.1"), cfg.Policy, cfg.Net, cfg.Clock, cfg.Roots, cfg.Seed)
+	if cfg.LocalRoot != nil {
+		r.LocalRootZone = cfg.LocalRoot
+	}
+	return &Client{r: r}, nil
+}
+
+// Lookup resolves (name, qtype), from cache when possible.
+func (c *Client) Lookup(name Name, qtype Type) (*Result, error) {
+	return c.r.Resolve(name, qtype)
+}
+
+// CacheStats reports the client's cache counters.
+func (c *Client) CacheStats() CacheStats { return c.r.Cache.Stats() }
+
+// CacheStats is the cache counter snapshot.
+type CacheStats = cache.Stats
+
+// Forwarder is a stub/forwarding resolver: it relays queries to one or
+// more full recursives and (optionally) caches the answers — the second
+// resolver species of the paper's §4.4 infrastructure analysis.
+type Forwarder = resolver.Forwarder
+
+// NewForwarder builds a forwarder with its own cache; set Passthrough for
+// a pure load-balancing frontend.
+func NewForwarder(addr netip.Addr, upstreams []netip.Addr, net Exchanger, clock Clock, seed int64) *Forwarder {
+	return resolver.NewForwarder(addr, upstreams, net, clock, seed)
+}
+
+// Server is an authoritative DNS server for a set of zones, servable over
+// real UDP and TCP or pluggable into a simulation.
+type Server struct {
+	s *authoritative.Server
+	u *authoritative.UDPServer
+	t *authoritative.TCPServer
+}
+
+// NewServer creates a server named after its primary nameserver host.
+func NewServer(name Name, clock Clock) *Server {
+	return &Server{s: authoritative.NewServer(name, clock)}
+}
+
+// AddZone makes the server authoritative for z.
+func (s *Server) AddZone(z *Zone) { s.s.AddZone(z) }
+
+// ParseZone reads a master-file zone.
+func ParseZone(text string, origin Name) (*Zone, error) {
+	return zone.Parse(strings.NewReader(text), origin)
+}
+
+// Handle answers one decoded query (for in-process use).
+func (s *Server) Handle(q *Message, from netip.Addr) *Message {
+	return s.s.Handle(q, from)
+}
+
+// ListenUDP binds addr ("127.0.0.1:0" style) and serves until Close. It
+// returns the bound address.
+func (s *Server) ListenUDP(addr string) (netip.AddrPort, error) {
+	s.u = &authoritative.UDPServer{Server: s.s}
+	return s.u.Listen(addr)
+}
+
+// ListenTCP binds addr for the TCP transport (truncation fallback) and
+// serves until Close, returning the bound address.
+func (s *Server) ListenTCP(addr string) (netip.AddrPort, error) {
+	s.t = &authoritative.TCPServer{Server: s.s}
+	return s.t.Listen(addr)
+}
+
+// QueryCount reports queries handled.
+func (s *Server) QueryCount() uint64 { return s.s.QueryCount() }
+
+// Close stops all listening transports.
+func (s *Server) Close() error {
+	var err error
+	if s.u != nil {
+		err = s.u.Close()
+	}
+	if s.t != nil {
+		if terr := s.t.Close(); err == nil {
+			err = terr
+		}
+	}
+	return err
+}

@@ -1,0 +1,73 @@
+// Command authserver serves one or more zone files authoritatively over
+// UDP, using the library's server.
+//
+// Usage:
+//
+//	authserver -listen 127.0.0.1:5353 -zone example.org=example.org.zone
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"dnsttl"
+)
+
+type zoneFlags []string
+
+func (z *zoneFlags) String() string { return strings.Join(*z, ",") }
+func (z *zoneFlags) Set(v string) error {
+	*z = append(*z, v)
+	return nil
+}
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:5353", "UDP listen address")
+		name   = flag.String("name", "ns1.example.org", "server's own name")
+		zones  zoneFlags
+	)
+	flag.Var(&zones, "zone", "origin=path to a master file (repeatable)")
+	flag.Parse()
+
+	if len(zones) == 0 {
+		fmt.Fprintln(os.Stderr, "authserver: at least one -zone origin=path is required")
+		os.Exit(2)
+	}
+	srv := dnsttl.NewServer(dnsttl.NewName(*name), nil)
+	for _, spec := range zones {
+		origin, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "authserver: bad -zone %q (want origin=path)\n", spec)
+			os.Exit(2)
+		}
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "authserver:", err)
+			os.Exit(1)
+		}
+		z, err := dnsttl.ParseZone(string(text), dnsttl.NewName(origin))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "authserver: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		srv.AddZone(z)
+		fmt.Printf("loaded zone %s from %s\n", origin, path)
+	}
+	addr, err := srv.ListenUDP(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "authserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving on udp://%s\n", addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("\n%d queries served\n", srv.QueryCount())
+	_ = srv.Close()
+}

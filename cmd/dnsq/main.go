@@ -1,0 +1,68 @@
+// Command dnsq is a dig-like query tool over the library's wire codec and
+// UDP exchanger.
+//
+// Usage:
+//
+//	dnsq -server 127.0.0.1 -port 5353 www.example.org A
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"dnsttl"
+	"dnsttl/internal/authoritative"
+	"dnsttl/internal/dnswire"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "127.0.0.1", "server address")
+		port    = flag.Uint("port", 53, "server port")
+		timeout = flag.Duration("timeout", 3*time.Second, "query timeout")
+		rd      = flag.Bool("rd", true, "set the recursion-desired flag")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: dnsq [flags] name [type]")
+		os.Exit(2)
+	}
+	name := dnsttl.NewName(flag.Arg(0))
+	qtype := dnsttl.TypeA
+	if flag.NArg() > 1 {
+		t, err := dnswire.ParseType(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dnsq:", err)
+			os.Exit(2)
+		}
+		qtype = t
+	}
+
+	q := dnswire.NewQuery(uint16(time.Now().UnixNano()), name, qtype)
+	q.Header.RD = *rd
+	wire, err := dnsttl.Encode(q)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq:", err)
+		os.Exit(1)
+	}
+	addr, err := netip.ParseAddr(*server)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq:", err)
+		os.Exit(2)
+	}
+	respWire, rtt, err := authoritative.UDPExchange(netip.AddrPortFrom(addr, uint16(*port)), wire, *timeout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq:", err)
+		os.Exit(1)
+	}
+	resp, err := dnsttl.Decode(respWire)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq: bad response:", err)
+		os.Exit(1)
+	}
+	fmt.Print(resp)
+	fmt.Printf(";; Query time: %v\n;; SERVER: %s#%d\n", rtt.Round(time.Microsecond), *server, *port)
+}

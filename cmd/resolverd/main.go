@@ -1,0 +1,98 @@
+// Command resolverd runs the library's recursive resolver as a daemon: it
+// answers client queries over UDP, iterating from the configured roots and
+// caching under the selected policy.
+//
+// Usage:
+//
+//	resolverd -listen 127.0.0.1:5300 -root 127.0.0.1 -rootport 5353
+//	resolverd -listen 127.0.0.1:5300 -root 198.41.0.4 -parentcentric
+//
+// A local root mirror (RFC 7706) can be loaded with -localroot via AXFR
+// from the first root server.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dnsttl"
+	"dnsttl/internal/authoritative"
+)
+
+func main() {
+	var (
+		listen        = flag.String("listen", "127.0.0.1:5300", "UDP listen address for clients")
+		roots         = flag.String("root", "", "comma-separated root server addresses")
+		rootPort      = flag.Uint("rootport", 53, "port for upstream servers")
+		parentCentric = flag.Bool("parentcentric", false, "prefer parent-side TTLs")
+		cap           = flag.Uint("ttlcap", 604800, "TTL cap in seconds (0 = none)")
+		stale         = flag.Bool("servestale", false, "serve stale answers when authoritatives fail")
+		validate      = flag.Bool("validate", false, "enable DNSSEC validation")
+		localRoot     = flag.Bool("localroot", false, "mirror the root zone locally via AXFR (RFC 7706)")
+	)
+	flag.Parse()
+	if *roots == "" {
+		fmt.Fprintln(os.Stderr, "resolverd: -root is required")
+		os.Exit(2)
+	}
+	var rootAddrs []netip.Addr
+	for _, s := range strings.Split(*roots, ",") {
+		a, err := netip.ParseAddr(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resolverd:", err)
+			os.Exit(2)
+		}
+		rootAddrs = append(rootAddrs, a)
+	}
+
+	pol := dnsttl.DefaultPolicy()
+	pol.TTLCap = uint32(*cap)
+	pol.ServeStale = *stale
+	pol.Validate = *validate
+	if *parentCentric {
+		pol.Centricity = dnsttl.ParentCentric
+	}
+	pol.LocalRoot = *localRoot
+
+	cfg := dnsttl.ClientConfig{
+		Policy: pol,
+		Roots:  rootAddrs,
+		Net:    dnsttl.UDPNet{Port: uint16(*rootPort)},
+	}
+	if *localRoot {
+		z, err := authoritative.FetchZone(netip.AddrPortFrom(rootAddrs[0], uint16(*rootPort)),
+			dnsttl.NewName("."), 5*time.Second)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resolverd: local root AXFR:", err)
+			os.Exit(1)
+		}
+		cfg.LocalRoot = z
+		fmt.Printf("mirrored root zone: %d records\n", z.RecordCount())
+	}
+	client, err := dnsttl.NewClient(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resolverd:", err)
+		os.Exit(1)
+	}
+	rs := &dnsttl.RecursiveServer{Client: client}
+	addr, err := rs.ListenUDP(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resolverd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recursive resolver on udp://%s (policy: %s, cap %ds)\n",
+		addr, pol.Centricity, pol.TTLCap)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := client.CacheStats()
+	fmt.Printf("\ncache: %d entries, %d hits, %d misses\n", st.Entries, st.Hits, st.Misses)
+	_ = rs.Close()
+}

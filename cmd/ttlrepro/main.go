@@ -1,0 +1,96 @@
+// Command ttlrepro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ttlrepro -list
+//	ttlrepro -experiment figure10 -probes 1000
+//	ttlrepro -experiment all -scale full
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dnsttl"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		scale      = flag.String("scale", "quick", "quick or full")
+		probes     = flag.Int("probes", 0, "override vantage-point count")
+		crawlScale = flag.Float64("crawlscale", 0, "override crawl list scale")
+		seed       = flag.Int64("seed", 42, "random seed")
+		asJSON     = flag.Bool("json", false, "emit reports as JSON lines")
+		csvDir     = flag.String("csvdir", "", "also write each figure's CDF series as CSV into this directory")
+	)
+	flag.Parse()
+	emit := func(r *dnsttl.Report) {
+		if *csvDir != "" && len(r.Series) > 0 {
+			name := strings.ToLower(strings.NewReplacer(" ", "-", "/", "-", "§", "s").Replace(r.ID)) + ".csv"
+			f, err := os.Create(filepath.Join(*csvDir, name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ttlrepro:", err)
+				os.Exit(1)
+			}
+			if err := r.WriteCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ttlrepro:", err)
+				os.Exit(1)
+			}
+			_ = f.Close()
+		}
+		if *asJSON {
+			out, err := json.Marshal(r)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ttlrepro:", err)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Println(r)
+		fmt.Println()
+	}
+
+	if *list {
+		for _, id := range dnsttl.ExperimentIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	sc := dnsttl.QuickScale()
+	if *scale == "full" {
+		sc = dnsttl.FullScale()
+	}
+	if *probes > 0 {
+		sc.Probes = *probes
+	}
+	if *crawlScale > 0 {
+		sc.CrawlScale = *crawlScale
+	}
+	sc.Seed = *seed
+
+	if *experiment == "all" {
+		reports, err := dnsttl.RunAllExperiments(sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttlrepro:", err)
+			os.Exit(1)
+		}
+		for _, r := range reports {
+			emit(r)
+		}
+		return
+	}
+	r, err := dnsttl.RunExperiment(*experiment, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttlrepro:", err)
+		os.Exit(1)
+	}
+	emit(r)
+}

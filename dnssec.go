@@ -1,0 +1,27 @@
+package dnsttl
+
+import (
+	"time"
+
+	"dnsttl/internal/dnssec"
+)
+
+// SigningKey is a zone's DNSSEC signing key.
+type SigningKey = dnssec.Key
+
+// NewSigningKey derives a deterministic signing key for a zone.
+func NewSigningKey(z Name, seed int64) *SigningKey { return dnssec.NewKey(z, seed) }
+
+// SignZone signs every RRset in z and installs the DNSKEY at the apex,
+// returning the number of RRSIGs added. Signed zones make validating
+// resolvers structurally child-centric (§2, §6.3 of the paper): the
+// signature binds the child's TTL as OriginalTTL.
+func SignZone(z *Zone, k *SigningKey, now time.Time) (int, error) {
+	return dnssec.SignZone(z, k, now)
+}
+
+// VerifyRRSet checks an RRset against its RRSIG and the zone's DNSKEY.
+// Decayed TTLs verify; TTLs above the signed original fail.
+func VerifyRRSet(keyRR RR, rrs []RR, sigRR RR, now time.Time) error {
+	return dnssec.Verify(keyRR, rrs, sigRR, now)
+}

@@ -1,0 +1,80 @@
+package dnsttl_test
+
+import (
+	"fmt"
+
+	"dnsttl"
+)
+
+// The effective-TTL model answers the paper's central question — which of
+// the many configured TTLs do resolvers actually honor? Here, the .uy
+// situation of early 2019.
+func ExampleEffectiveNSTTL() {
+	cfg := dnsttl.ZoneConfig{
+		Domain:      dnsttl.NewName("uy"),
+		ParentNSTTL: 172800, // the root's delegation
+		ChildNSTTL:  300,    // the zone's own NS TTL
+	}
+	d := dnsttl.EffectiveNSTTL(cfg, dnsttl.MeasuredPopulation())
+	fmt.Print(d)
+	// Output:
+	//     90.0%  TTL 300     child-centric (child NS TTL)
+	//      1.5%  TTL 21599   parent-centric (parent NS TTL), capped
+	//      8.5%  TTL 172800  parent-centric (parent NS TTL)
+}
+
+// The §4 finding as a one-liner: in-bailiwick server addresses live only
+// as long as the NS set that carries their glue.
+func ExampleEffectiveAddrTTL() {
+	cfg := dnsttl.ZoneConfig{
+		ChildNSTTL:   3600,
+		ChildAddrTTL: 7200,
+		Bailiwick:    dnsttl.BailiwickInOnly,
+	}
+	d := dnsttl.EffectiveAddrTTL(cfg, dnsttl.PopulationModel{ChildCentric: 1})
+	fmt.Printf("effective address TTL: %d s (configured %d s)\n", d.Min(), cfg.ChildAddrTTL)
+	// Output:
+	// effective address TTL: 3600 s (configured 7200 s)
+}
+
+// HitRate is the Jung et al. cache model: λT/(1+λT).
+func ExampleHitRate() {
+	for _, ttl := range []uint32{60, 1000, 86400} {
+		fmt.Printf("TTL %6d: %.0f%%\n", ttl, 100*dnsttl.HitRate(ttl, 0.02))
+	}
+	// Output:
+	// TTL     60: 55%
+	// TTL   1000: 95%
+	// TTL  86400: 100%
+}
+
+// Advise applies the paper's §6 recommendations to a configuration.
+func ExampleAdvise() {
+	cfg := dnsttl.ZoneConfig{
+		Domain:      dnsttl.NewName("example.org"),
+		ParentNSTTL: 86400, ChildNSTTL: 86400,
+		ChildAddrTTL: 86400, Bailiwick: dnsttl.BailiwickOutOnly,
+		ServiceTTL: 14400,
+	}
+	for _, rec := range dnsttl.Advise(cfg, dnsttl.Scenario{}) {
+		fmt.Println(rec)
+	}
+	// Output:
+	// [INFO] ok: configuration follows the paper's recommendations
+}
+
+// ParseZone reads RFC 1035 master-file syntax.
+func ExampleParseZone() {
+	z, err := dnsttl.ParseZone(`
+$ORIGIN example.org.
+@    3600 IN SOA ns1 admin 1 7200 3600 1209600 300
+www  300  IN A 192.0.2.80
+`, dnsttl.NewName("example.org"))
+	if err != nil {
+		panic(err)
+	}
+	set := z.Get(dnsttl.NewName("www.example.org"), dnsttl.TypeA)
+	fmt.Println(set.RRs[0])
+	// Output:
+	// www.example.org.	300	IN	A	192.0.2.80
+}

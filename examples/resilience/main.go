@@ -1,0 +1,33 @@
+// The resilience example quantifies §6.1's DDoS argument: how long a zone
+// survives an authoritative outage is exactly its TTL — unless resolvers
+// serve stale. It runs the outage sweep and then asks the advisor what a
+// DDoS-conscious operator should configure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dnsttl"
+)
+
+func main() {
+	sc := dnsttl.QuickScale()
+	sc.Probes = 120
+	report, err := dnsttl.RunExperiment("outage-sweep", sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Text)
+
+	fmt.Println("Advisor view for a DDoS-scrubbing user with a 1-hour-TTL zone:")
+	cfg := dnsttl.ZoneConfig{
+		Domain:      dnsttl.NewName("shop.example"),
+		ParentNSTTL: 172800, ChildNSTTL: 172800,
+		ChildAddrTTL: 3600, Bailiwick: dnsttl.BailiwickOutOnly,
+		ServiceTTL: 3600,
+	}
+	for _, rec := range dnsttl.Advise(cfg, dnsttl.Scenario{DDoSScrubbing: true}) {
+		fmt.Println(" ", rec)
+	}
+}

@@ -1,0 +1,155 @@
+package dnsttl
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsttl/internal/simnet"
+)
+
+// TestFacadeDNSSEC drives the public signing/validation API end to end.
+func TestFacadeDNSSEC(t *testing.T) {
+	z, err := ParseZone(orgZoneText, NewName("example.org"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NewSigningKey(NewName("example.org"), 7)
+	n, err := SignZone(z, key, simnet.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 {
+		t.Fatalf("signed %d RRsets", n)
+	}
+	www := z.Get(NewName("www.example.org"), TypeA)
+	sigs := z.Get(NewName("www.example.org"), Type(46)) // RRSIG
+	if www == nil || sigs == nil {
+		t.Fatal("signed sets missing")
+	}
+	if err := VerifyRRSet(key.DNSKEY(3600), www.RRs, sigs.RRs[0], simnet.Epoch); err != nil {
+		t.Errorf("VerifyRRSet: %v", err)
+	}
+	// Inflated TTLs fail, decayed pass — the §2 property.
+	inflated := z.Get(NewName("www.example.org"), TypeA)
+	inflated.RRs[0].TTL = 999999
+	if err := VerifyRRSet(key.DNSKEY(3600), inflated.RRs, sigs.RRs[0], simnet.Epoch); err == nil {
+		t.Errorf("inflated TTL must fail verification")
+	}
+}
+
+// TestFacadeForwarder exercises the public Forwarder against a loopback
+// recursive daemon over real UDP.
+func TestFacadeForwarder(t *testing.T) {
+	srv := NewServer(NewName("a.root-servers.net"), nil)
+	for origin, text := range map[string]string{".": rootZoneText, "example.org": orgZoneText} {
+		z, err := ParseZone(text, NewName(origin))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.AddZone(z)
+	}
+	authAddr, err := srv.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := NewClient(ClientConfig{
+		Roots: []netip.Addr{authAddr.Addr()},
+		Net:   UDPNet{Port: authAddr.Port(), Timeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := &RecursiveServer{Client: client}
+	rdAddr, err := rd.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+
+	fw := NewForwarder(netip.MustParseAddr("127.0.0.1"),
+		[]netip.Addr{rdAddr.Addr()},
+		UDPNet{Port: rdAddr.Port(), Timeout: 2 * time.Second}, nil, 3)
+	res, err := fw.Resolve(NewName("www.example.org"), TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Msg.Header.RCode != RCodeNoError || len(res.Msg.Answer) == 0 {
+		t.Fatalf("forwarder over UDP: %s", res.Msg.Header.RCode)
+	}
+	// Forwarder's own cache serves the repeat.
+	res, err = fw.Resolve(NewName("www.example.org"), TypeA)
+	if err != nil || !res.CacheHit {
+		t.Errorf("repeat should hit the forwarder cache: %v hit=%v", err, res.CacheHit)
+	}
+}
+
+// TestRunAllExperimentsTiny smoke-runs the whole registry at a tiny scale —
+// the `ttlrepro -experiment all` path.
+func TestRunAllExperimentsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := ExperimentScale{Probes: 60, CrawlScale: 0.02, Resolvers: 60, Seed: 7}
+	reports, err := RunAllExperiments(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(ExperimentIDs) {
+		t.Errorf("got %d reports for %d ids", len(reports), len(ExperimentIDs))
+	}
+	seen := map[string]bool{}
+	for _, r := range reports {
+		if r.ID == "" || r.Text == "" {
+			t.Errorf("incomplete report %q", r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate report id %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	// FullScale is a valid configuration too.
+	if FullScale().Probes <= QuickScale().Probes {
+		t.Errorf("FullScale should exceed QuickScale")
+	}
+}
+
+// TestRecursiveServerErrorPaths covers the daemon's SERVFAIL fallback.
+func TestRecursiveServerErrorPaths(t *testing.T) {
+	// A client with unreachable roots: every lookup SERVFAILs, and the
+	// daemon surfaces that rather than dropping.
+	client, err := NewClient(ClientConfig{
+		Roots: []netip.Addr{netip.MustParseAddr("127.0.0.1")},
+		Net:   UDPNet{Port: 1, Timeout: 50 * time.Millisecond}, // nothing listens
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := &RecursiveServer{Client: client}
+	q := &Message{Header: Header{ID: 9, RD: true},
+		Question: []Question{{Name: NewName("x.org"), Type: TypeA, Class: 1}}}
+	wire, err := Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respWire := rd.ServeDNS(wire, netip.Addr{})
+	if respWire == nil {
+		t.Fatal("no response")
+	}
+	resp, err := Decode(respWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != RCodeServFail || resp.Header.ID != 9 {
+		t.Errorf("daemon error path: %+v", resp.Header)
+	}
+	if err := rd.Close(); err != nil {
+		t.Errorf("Close on unlistened daemon: %v", err)
+	}
+	if !strings.Contains(RCodeServFail.String(), "SERVFAIL") {
+		t.Errorf("rcode string")
+	}
+}

@@ -1,0 +1,3 @@
+module dnsttl
+
+go 1.22

@@ -1,0 +1,80 @@
+package authoritative
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/zone"
+)
+
+// TypeAXFR is the zone-transfer query type (RFC 1035 §3.2.3). Transfers
+// run over TCP; this implementation answers with a single message carrying
+// the SOA-framed record list, which is sufficient for the zone sizes this
+// module moves (the root zone for RFC 7706 mirrors).
+const TypeAXFR = dnswire.Type(252)
+
+// handleAXFR builds the transfer response for a zone this server is
+// authoritative for, or nil if it is not.
+func (s *Server) handleAXFR(q *dnswire.Message, from netip.Addr) *dnswire.Message {
+	origin := q.Q().Name
+	z := s.Zone(origin)
+	resp := q.Reply()
+	if z == nil {
+		resp.Header.RCode = dnswire.RCodeRefused
+		return resp
+	}
+	soa, ok := z.SOA()
+	if !ok {
+		resp.Header.RCode = dnswire.RCodeServFail
+		return resp
+	}
+	resp.Header.AA = true
+	// RFC 5936 framing: SOA, all other records, SOA again.
+	resp.AddAnswer(soa)
+	for _, set := range z.AllSets() {
+		for _, rr := range set.RRs {
+			if rr.Type == dnswire.TypeSOA && rr.Name == origin {
+				continue
+			}
+			resp.AddAnswer(rr)
+		}
+	}
+	resp.AddAnswer(soa)
+	s.logQuery(from, q.Q(), resp)
+	return resp
+}
+
+// FetchZone performs an AXFR against addr over TCP and reconstructs the
+// zone — how an RFC 7706 mirror obtains the root zone.
+func FetchZone(addr netip.AddrPort, origin dnswire.Name, timeout time.Duration) (*zone.Zone, error) {
+	q := dnswire.NewIterativeQuery(uint16(time.Now().UnixNano()), origin, TypeAXFR)
+	wire, err := dnswire.Encode(q)
+	if err != nil {
+		return nil, err
+	}
+	respWire, _, err := TCPExchange(addr, wire, timeout)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := dnswire.Decode(respWire)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.RCode != dnswire.RCodeNoError {
+		return nil, fmt.Errorf("authoritative: AXFR refused: %s", resp.Header.RCode)
+	}
+	if len(resp.Answer) < 2 ||
+		resp.Answer[0].Type != dnswire.TypeSOA ||
+		resp.Answer[len(resp.Answer)-1].Type != dnswire.TypeSOA {
+		return nil, fmt.Errorf("authoritative: AXFR response not SOA-framed")
+	}
+	z := zone.New(origin)
+	for _, rr := range resp.Answer[:len(resp.Answer)-1] {
+		if err := z.Add(rr); err != nil {
+			return nil, fmt.Errorf("authoritative: AXFR record %s: %w", rr.Name, err)
+		}
+	}
+	return z, nil
+}

@@ -1,0 +1,281 @@
+// Package authoritative implements an authoritative DNS server over the
+// zone model: it answers with the AA bit for data it owns, emits referrals
+// with glue at delegation points, returns RFC 2308 negative answers, and
+// chases in-zone CNAME chains. It serves both the simulated message plane
+// (simnet.Handler) and real UDP/TCP sockets.
+package authoritative
+
+import (
+	"sync"
+	"time"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/simnet"
+	"dnsttl/internal/zone"
+
+	"net/netip"
+)
+
+// QueryLogEntry records one handled query, the raw material for the
+// paper's authoritative-side analyses (§3.4, §4.6, §6.2).
+type QueryLogEntry struct {
+	Time     time.Time
+	Client   netip.Addr
+	Name     dnswire.Name
+	Type     dnswire.Type
+	RCode    dnswire.RCode
+	Answers  int
+	Referral bool
+}
+
+// Server is an authoritative server for a set of zones.
+type Server struct {
+	// Name identifies the server in logs and experiment reports
+	// (e.g. "ns1.cachetest.net").
+	Name dnswire.Name
+	// Clock timestamps query-log entries.
+	Clock simnet.Clock
+	// RotateAnswers cycles multi-record answer sets round-robin per
+	// response — classic DNS load balancing (§6.1), where every arriving
+	// query is a chance to steer a client.
+	RotateAnswers bool
+
+	mu       sync.RWMutex
+	zones    map[dnswire.Name]*zone.Zone
+	log      []QueryLogEntry
+	rotation uint64
+	// logging controls whether entries are retained.
+	logging bool
+	queries uint64
+}
+
+// NewServer creates a server with no zones. If clock is nil the wall clock
+// is used.
+func NewServer(name dnswire.Name, clock simnet.Clock) *Server {
+	if clock == nil {
+		clock = simnet.WallClock{}
+	}
+	return &Server{
+		Name:  name,
+		Clock: clock,
+		zones: make(map[dnswire.Name]*zone.Zone),
+	}
+}
+
+// AddZone makes the server authoritative for z.
+func (s *Server) AddZone(z *zone.Zone) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.zones[z.Origin] = z
+}
+
+// RemoveZone drops authority for origin.
+func (s *Server) RemoveZone(origin dnswire.Name) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.zones, origin)
+}
+
+// Zone returns the zone with the given origin, or nil.
+func (s *Server) Zone(origin dnswire.Name) *zone.Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.zones[origin]
+}
+
+// EnableQueryLog turns on query logging (off by default to keep large
+// simulations lean).
+func (s *Server) EnableQueryLog() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logging = true
+}
+
+// QueryLog returns a copy of the retained log.
+func (s *Server) QueryLog() []QueryLogEntry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]QueryLogEntry(nil), s.log...)
+}
+
+// ResetQueryLog clears the log and query counter.
+func (s *Server) ResetQueryLog() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = nil
+	s.queries = 0
+}
+
+// QueryCount returns the number of queries handled since the last reset.
+func (s *Server) QueryCount() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.queries
+}
+
+// bestZone returns the most specific zone enclosing name, found by walking
+// the name's ancestors so servers hosting many zones stay O(label count)
+// per query.
+func (s *Server) bestZone(name dnswire.Name) *zone.Zone {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for n := name; ; n = n.Parent() {
+		if z, ok := s.zones[n]; ok {
+			return z
+		}
+		if n.IsRoot() {
+			return nil
+		}
+	}
+}
+
+// ServeDNS implements simnet.Handler for the UDP transport: decode, handle,
+// encode, truncating to the client's advertised EDNS size — or the classic
+// 512 bytes when the query carried no OPT record (RFC 6891 §6.2.5).
+// Malformed queries get FORMERR; encode failures drop the query (nil).
+func (s *Server) ServeDNS(wire []byte, from netip.Addr) []byte {
+	return s.serveWire(wire, from, 0)
+}
+
+// ServeDNSTCP is the TCP-transport entry point: same handling, but the
+// 64 KiB frame limit applies instead of datagram truncation.
+func (s *Server) ServeDNSTCP(wire []byte, from netip.Addr) []byte {
+	return s.serveWire(wire, from, 0xFFFF)
+}
+
+// serveWire handles one query. limit 0 means "derive from the query's EDNS
+// advertisement"; otherwise it is the response size bound.
+func (s *Server) serveWire(wire []byte, from netip.Addr, limit int) []byte {
+	q, err := dnswire.Decode(wire)
+	if err != nil {
+		// Can't even parse the ID reliably; drop.
+		if len(wire) < 12 {
+			return nil
+		}
+		resp := &dnswire.Message{Header: dnswire.Header{
+			ID: uint16(wire[0])<<8 | uint16(wire[1]), QR: true, RCode: dnswire.RCodeFormErr,
+		}}
+		out, err := dnswire.Encode(resp)
+		if err != nil {
+			return nil
+		}
+		return out
+	}
+	resp := s.Handle(q, from)
+	if limit == 0 {
+		limit = dnswire.MaxUDPSize
+		for _, rr := range q.Additional {
+			if opt, ok := rr.Data.(dnswire.OPT); ok {
+				limit = int(opt.UDPSize)
+				if limit < dnswire.MaxUDPSize {
+					limit = dnswire.MaxUDPSize
+				}
+				if limit > dnswire.MaxEDNSSize {
+					limit = dnswire.MaxEDNSSize
+				}
+			}
+		}
+	}
+	out, err := dnswire.EncodeWithLimit(resp, limit)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Handle answers one decoded query.
+func (s *Server) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
+	resp := q.Reply()
+	question := q.Q()
+	if question.Name == "" || q.Header.Opcode != dnswire.OpcodeQuery {
+		resp.Header.RCode = dnswire.RCodeNotImp
+		s.logQuery(from, question, resp)
+		return resp
+	}
+	if question.Type == TypeAXFR {
+		return s.handleAXFR(q, from)
+	}
+
+	z := s.bestZone(question.Name)
+	if z == nil {
+		resp.Header.RCode = dnswire.RCodeRefused
+		s.logQuery(from, question, resp)
+		return resp
+	}
+	s.answerFromZone(z, question.Name, question.Type, resp, 0)
+	s.logQuery(from, question, resp)
+	return resp
+}
+
+// maxCNAMEChain bounds in-zone alias chasing.
+const maxCNAMEChain = 8
+
+func (s *Server) answerFromZone(z *zone.Zone, name dnswire.Name, t dnswire.Type, resp *dnswire.Message, depth int) {
+	res := z.Lookup(name, t)
+	switch res.Kind {
+	case zone.Answer:
+		resp.Header.AA = true
+		resp.AddAnswer(s.maybeRotate(res.Answer.RRs)...)
+	case zone.CNAMEAnswer:
+		resp.Header.AA = true
+		resp.AddAnswer(res.Answer.RRs...)
+		if depth < maxCNAMEChain {
+			target := res.Answer.RRs[0].Data.(dnswire.CNAME).Target
+			// Follow the alias if we are authoritative for the target too.
+			if tz := s.bestZone(target); tz != nil {
+				s.answerFromZone(tz, target, t, resp, depth+1)
+			}
+		}
+	case zone.NoData:
+		resp.Header.AA = true
+		if res.Authority != nil {
+			resp.AddAuthority(res.Authority.RRs...)
+		}
+	case zone.NXDomain:
+		resp.Header.AA = true
+		resp.Header.RCode = dnswire.RCodeNXDomain
+		if res.Authority != nil {
+			resp.AddAuthority(res.Authority.RRs...)
+		}
+	case zone.Delegation:
+		// Referral: AA clear, NS in authority, glue in additional.
+		resp.AddAuthority(res.Authority.RRs...)
+		resp.AddAdditional(res.Glue...)
+	case zone.NotInZone:
+		resp.Header.RCode = dnswire.RCodeRefused
+	}
+}
+
+// maybeRotate returns rrs rotated by the server's response counter when
+// RotateAnswers is on, so successive clients see different first records.
+func (s *Server) maybeRotate(rrs []dnswire.RR) []dnswire.RR {
+	if !s.RotateAnswers || len(rrs) < 2 {
+		return rrs
+	}
+	s.mu.Lock()
+	off := int(s.rotation) % len(rrs)
+	s.rotation++
+	s.mu.Unlock()
+	out := make([]dnswire.RR, 0, len(rrs))
+	out = append(out, rrs[off:]...)
+	out = append(out, rrs[:off]...)
+	return out
+}
+
+func (s *Server) logQuery(from netip.Addr, q dnswire.Question, resp *dnswire.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	if !s.logging {
+		return
+	}
+	s.log = append(s.log, QueryLogEntry{
+		Time:     s.Clock.Now(),
+		Client:   from,
+		Name:     q.Name,
+		Type:     q.Type,
+		RCode:    resp.Header.RCode,
+		Answers:  len(resp.Answer),
+		Referral: resp.IsReferral(),
+	})
+}

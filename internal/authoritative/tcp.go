@@ -1,0 +1,150 @@
+package authoritative
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// TCPServer serves a Server over TCP with RFC 1035 §4.2.2 two-byte length
+// framing — the fallback transport clients use when a UDP response arrives
+// truncated.
+type TCPServer struct {
+	Server *Server
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen binds addr and serves until Close, returning the bound address.
+func (t *TCPServer) Listen(addr string) (netip.AddrPort, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	t.mu.Lock()
+	t.ln = ln
+	t.mu.Unlock()
+	t.wg.Add(1)
+	go t.serve(ln)
+	return ln.Addr().(*net.TCPAddr).AddrPort(), nil
+}
+
+func (t *TCPServer) serve(ln net.Listener) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn serves queries on one connection until EOF or error. Multiple
+// queries per connection are allowed, as the RFC permits.
+func (t *TCPServer) handleConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	from := netip.Addr{}
+	if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		from = ta.AddrPort().Addr()
+	}
+	for {
+		query, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := t.Server.ServeDNSTCP(query, from)
+		if resp == nil {
+			return
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and waits for in-flight connections.
+func (t *TCPServer) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	ln := t.ln
+	t.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+// readFrame reads one length-prefixed DNS message.
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	if n == 0 {
+		return nil, fmt.Errorf("authoritative: zero-length TCP frame")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeFrame writes one length-prefixed DNS message.
+func writeFrame(w io.Writer, msg []byte) error {
+	if len(msg) > 0xFFFF {
+		return fmt.Errorf("authoritative: message exceeds TCP frame limit")
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(msg)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// TCPExchange sends one query over TCP and reads the reply.
+func TCPExchange(addr netip.AddrPort, query []byte, timeout time.Duration) ([]byte, time.Duration, error) {
+	start := time.Now()
+	conn, err := net.DialTimeout("tcp", addr.String(), timeout)
+	if err != nil {
+		return nil, time.Since(start), err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(start.Add(timeout)); err != nil {
+		return nil, time.Since(start), err
+	}
+	if err := writeFrame(conn, query); err != nil {
+		return nil, time.Since(start), err
+	}
+	resp, err := readFrame(conn)
+	rtt := time.Since(start)
+	if err != nil {
+		return nil, rtt, fmt.Errorf("authoritative: tcp exchange: %w", err)
+	}
+	return resp, rtt, nil
+}

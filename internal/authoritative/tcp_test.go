@@ -1,0 +1,123 @@
+package authoritative
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsttl/internal/dnswire"
+)
+
+func TestTCPServerIntegration(t *testing.T) {
+	s := testServer(t)
+	ts := &TCPServer{Server: s}
+	addr, err := ts.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ts.Close()
+
+	q := dnswire.NewIterativeQuery(7, dnswire.NewName("www.example.org"), dnswire.TypeA)
+	wire, err := dnswire.Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respWire, rtt, err := TCPExchange(addr, wire, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt <= 0 {
+		t.Errorf("rtt = %v", rtt)
+	}
+	resp, err := dnswire.Decode(respWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.ID != 7 || len(resp.Answer) != 1 {
+		t.Errorf("tcp response = %s", resp)
+	}
+	if err := ts.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestTCPExchangeConnRefused(t *testing.T) {
+	s := testServer(t)
+	ts := &TCPServer{Server: s}
+	addr, err := ts.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	if _, _, err := TCPExchange(addr, []byte{0}, 500*time.Millisecond); err == nil {
+		t.Errorf("exchange against closed server should fail")
+	}
+}
+
+func TestFrameCodec(t *testing.T) {
+	var buf bytes.Buffer
+	msg := []byte{1, 2, 3, 4, 5}
+	if err := writeFrame(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("frame = %v", got)
+	}
+	// Zero-length frames rejected.
+	buf.Reset()
+	buf.Write([]byte{0, 0})
+	if _, err := readFrame(&buf); err == nil {
+		t.Errorf("zero-length frame should error")
+	}
+	// Short frames rejected.
+	buf.Reset()
+	buf.Write([]byte{0, 10, 1, 2})
+	if _, err := readFrame(&buf); err == nil {
+		t.Errorf("short frame should error")
+	}
+	// Oversize messages rejected on write.
+	if err := writeFrame(&buf, make([]byte, 70000)); err == nil {
+		t.Errorf("oversize frame should error")
+	}
+}
+
+func TestUDPTruncationRespectsEDNS(t *testing.T) {
+	// A zone with enough TXT data to exceed 512 bytes.
+	s := testServer(t)
+	z := s.Zone(dnswire.NewName("example.org"))
+	for i := 0; i < 10; i++ {
+		z.MustAdd(dnswire.NewTXT("big.example.org", 60, fmt.Sprintf("%d-%s", i, strings.Repeat("x", 100))))
+	}
+	ask := func(withOPT bool) *dnswire.Message {
+		q := dnswire.NewIterativeQuery(3, dnswire.NewName("big.example.org"), dnswire.TypeTXT)
+		if withOPT {
+			q.AddAdditional(dnswire.RR{Name: dnswire.Root, Type: dnswire.TypeOPT,
+				Data: dnswire.OPT{UDPSize: 4096}})
+		}
+		wire, err := dnswire.Encode(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		respWire := s.ServeDNS(wire, clientAddr)
+		resp, err := dnswire.Decode(respWire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	plain := ask(false)
+	if !plain.Header.TC || len(plain.Answer) != 0 {
+		t.Errorf("non-EDNS query over 512 bytes must truncate: TC=%v answers=%d",
+			plain.Header.TC, len(plain.Answer))
+	}
+	edns := ask(true)
+	if edns.Header.TC || len(edns.Answer) == 0 {
+		t.Errorf("EDNS query should fit: TC=%v answers=%d", edns.Header.TC, len(edns.Answer))
+	}
+}

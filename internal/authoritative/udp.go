@@ -1,0 +1,117 @@
+package authoritative
+
+import (
+	"dnsttl/internal/simnet"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// UDPServer serves a DNS handler over a real UDP socket; it exists so the
+// library is usable as an actual nameserver (cmd/authserver), as a
+// recursive daemon front-end (cmd/resolverd), and so integration tests can
+// exercise the OS network path. Exactly one of Server or Handler must be
+// set; Server takes precedence.
+type UDPServer struct {
+	Server *Server
+	// Handler serves queries when Server is nil — any simnet.Handler,
+	// e.g. a recursive front-end.
+	Handler simnet.Handler
+
+	mu     sync.Mutex
+	conn   *net.UDPConn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func (u *UDPServer) handler() simnet.Handler {
+	if u.Server != nil {
+		return u.Server
+	}
+	return u.Handler
+}
+
+// Listen binds addr ("127.0.0.1:0" style) and starts serving until Close.
+// It returns the bound address.
+func (u *UDPServer) Listen(addr string) (netip.AddrPort, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	u.mu.Lock()
+	u.conn = conn
+	u.mu.Unlock()
+	u.wg.Add(1)
+	go u.serve(conn)
+	return conn.LocalAddr().(*net.UDPAddr).AddrPort(), nil
+}
+
+func (u *UDPServer) serve(conn *net.UDPConn) {
+	defer u.wg.Done()
+	buf := make([]byte, 65535)
+	for {
+		n, raddr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			u.mu.Lock()
+			closed := u.closed
+			u.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		query := make([]byte, n)
+		copy(query, buf[:n])
+		from := raddr.AddrPort().Addr()
+		resp := u.handler().ServeDNS(query, from)
+		if resp != nil {
+			_, _ = conn.WriteToUDP(resp, raddr)
+		}
+	}
+}
+
+// Close stops the server and releases the socket.
+func (u *UDPServer) Close() error {
+	u.mu.Lock()
+	u.closed = true
+	conn := u.conn
+	u.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	u.wg.Wait()
+	return err
+}
+
+// UDPExchange sends a single wire-format query to addr over real UDP and
+// waits up to timeout for a reply. It returns the reply bytes and the
+// measured RTT.
+func UDPExchange(addr netip.AddrPort, query []byte, timeout time.Duration) ([]byte, time.Duration, error) {
+	conn, err := net.DialUDP("udp", nil, net.UDPAddrFromAddrPort(addr))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer conn.Close()
+	start := time.Now()
+	if err := conn.SetDeadline(start.Add(timeout)); err != nil {
+		return nil, 0, err
+	}
+	if _, err := conn.Write(query); err != nil {
+		return nil, 0, err
+	}
+	buf := make([]byte, 65535)
+	n, err := conn.Read(buf)
+	rtt := time.Since(start)
+	if err != nil {
+		return nil, rtt, fmt.Errorf("authoritative: udp exchange: %w", err)
+	}
+	return buf[:n], rtt, nil
+}

@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/simnet"
+)
+
+// BenchmarkPutGet measures the cache hot path: insert then look up.
+func BenchmarkPutGet(b *testing.B) {
+	c := New(simnet.NewVirtualClock(), Config{})
+	names := make([]dnswire.Name, 1024)
+	for i := range names {
+		names[i] = dnswire.NewName(fmt.Sprintf("n%04d.example.org", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := names[i%len(names)]
+		c.Put(Entry{
+			Key:  Key{Name: n, Type: dnswire.TypeA},
+			RRs:  []dnswire.RR{dnswire.NewA(string(n), 300, "192.0.2.1")},
+			TTL:  300,
+			Cred: CredAnswerAuth,
+		})
+		if _, _, ok := c.Get(n, dnswire.TypeA); !ok {
+			b.Fatal("miss after put")
+		}
+	}
+}
+
+// BenchmarkGetHit measures a pure cache hit.
+func BenchmarkGetHit(b *testing.B) {
+	c := New(simnet.NewVirtualClock(), Config{})
+	n := dnswire.NewName("www.example.org")
+	c.Put(Entry{
+		Key:  Key{Name: n, Type: dnswire.TypeA},
+		RRs:  []dnswire.RR{dnswire.NewA(string(n), 300, "192.0.2.1")},
+		TTL:  300,
+		Cred: CredAnswerAuth,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := c.Get(n, dnswire.TypeA); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

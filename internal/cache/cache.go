@@ -1,0 +1,334 @@
+// Package cache implements a recursive resolver's record cache with the
+// mechanisms whose interactions the paper studies: TTL decay against a
+// clock, RFC 2181 §5.4.1 credibility ranking (so authoritative child data
+// outranks parent glue), RFC 2308 negative caching, TTL capping and
+// flooring as deployed resolvers do, serve-stale (RFC 8767), and glue
+// tagging so resolver policy can couple an in-bailiwick A record's lifetime
+// to its covering NS RRset.
+package cache
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/simnet"
+)
+
+// Credibility ranks how trustworthy cached data is, after RFC 2181 §5.4.1.
+// Higher values replace lower ones; lower values never overwrite unexpired
+// higher ones. This ranking is what makes most resolvers child-centric
+// (§3 of the paper): the child's authoritative answer outranks the parent's
+// glue, but only once the child has actually been asked.
+type Credibility uint8
+
+const (
+	// CredAdditional: glue from a referral's additional section.
+	CredAdditional Credibility = iota + 1
+	// CredAuthorityReferral: NS records in a referral's authority section.
+	CredAuthorityReferral
+	// CredAuthorityAuth: authority-section data of an authoritative answer.
+	CredAuthorityAuth
+	// CredAnswerNonAuth: answer-section data without the AA bit (e.g. from
+	// a forwarder).
+	CredAnswerNonAuth
+	// CredAnswerAuth: answer-section data with the AA bit — the child
+	// zone's own statement.
+	CredAnswerAuth
+)
+
+func (c Credibility) String() string {
+	switch c {
+	case CredAdditional:
+		return "additional"
+	case CredAuthorityReferral:
+		return "authority-referral"
+	case CredAuthorityAuth:
+		return "authority-auth"
+	case CredAnswerNonAuth:
+		return "answer-nonauth"
+	case CredAnswerAuth:
+		return "answer-auth"
+	}
+	return "none"
+}
+
+// Key identifies a cache entry.
+type Key struct {
+	Name dnswire.Name
+	Type dnswire.Type
+}
+
+// NegativeKind distinguishes cached negative answers.
+type NegativeKind uint8
+
+const (
+	// NotNegative marks a positive entry.
+	NotNegative NegativeKind = iota
+	// NegNXDomain caches "name does not exist".
+	NegNXDomain
+	// NegNoData caches "name exists, type does not".
+	NegNoData
+)
+
+// Entry is one cached RRset (or negative answer).
+type Entry struct {
+	Key      Key
+	RRs      []dnswire.RR
+	TTL      uint32
+	Stored   time.Time
+	Cred     Credibility
+	Negative NegativeKind
+	// GlueOf, when set, names the delegation NS owner this entry arrived
+	// as glue for; resolver policy may couple its lifetime to that NS set.
+	GlueOf dnswire.Name
+	// Server is the authoritative address the data came from, for
+	// stickiness analysis.
+	Server string
+}
+
+// expiresAt is when the entry stops being fresh.
+func (e *Entry) expiresAt() time.Time {
+	return e.Stored.Add(time.Duration(e.TTL) * time.Second)
+}
+
+// Remaining returns the decayed TTL at time now, and false if expired.
+func (e *Entry) Remaining(now time.Time) (uint32, bool) {
+	elapsed := now.Sub(e.Stored)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	sec := uint32(elapsed / time.Second)
+	if sec >= e.TTL {
+		return 0, false
+	}
+	return e.TTL - sec, true
+}
+
+// Config tunes cache behavior; the zero value is a plain RFC-conformant
+// cache with a 1M-entry bound.
+type Config struct {
+	// MaxTTL caps stored TTLs (0 = no cap). BIND defaults to one week;
+	// Google Public DNS effectively caps at 21599 s (§3.3 of the paper).
+	MaxTTL uint32
+	// MinTTL floors stored TTLs (0 = no floor). Some resolvers impose
+	// tens of seconds to bound load.
+	MinTTL uint32
+	// ServeStale, when set, lets GetStale return expired entries for up to
+	// StaleFor after expiry (RFC 8767), used when authoritatives are down.
+	ServeStale bool
+	// StaleFor bounds how long past expiry stale data may be served.
+	// Zero means 1 day, the RFC 8767 suggestion.
+	StaleFor time.Duration
+	// Capacity bounds the entry count; 0 means 1<<20. Oldest-stored
+	// entries are evicted first.
+	Capacity int
+}
+
+func (c Config) capacity() int {
+	if c.Capacity <= 0 {
+		return 1 << 20
+	}
+	return c.Capacity
+}
+
+func (c Config) staleFor() time.Duration {
+	if c.StaleFor <= 0 {
+		return 24 * time.Hour
+	}
+	return c.StaleFor
+}
+
+// Cache is a TTL-decaying, credibility-ranked DNS cache.
+type Cache struct {
+	clock simnet.Clock
+	cfg   Config
+
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	order   *list.List // FIFO by Stored, for eviction
+
+	hits, misses, evictions, staleHits uint64
+}
+
+// New creates a cache on the given clock (nil means wall clock).
+func New(clock simnet.Clock, cfg Config) *Cache {
+	if clock == nil {
+		clock = simnet.WallClock{}
+	}
+	return &Cache{
+		clock:   clock,
+		cfg:     cfg,
+		entries: make(map[Key]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Stats reports cache counters.
+type Stats struct {
+	Hits, Misses, Evictions, StaleHits uint64
+	Entries                            int
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		StaleHits: c.staleHits, Entries: len(c.entries),
+	}
+}
+
+// Len returns the number of entries, expired ones included.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Put stores e, applying TTL cap/floor, and returns whether the entry was
+// stored. An unexpired existing entry with higher credibility wins over the
+// new data (RFC 2181 §5.4.1); equal or higher credibility replaces.
+func (c *Cache) Put(e Entry) bool {
+	now := c.clock.Now()
+	if e.Stored.IsZero() {
+		e.Stored = now
+	}
+	if c.cfg.MaxTTL > 0 && e.TTL > c.cfg.MaxTTL {
+		e.TTL = c.cfg.MaxTTL
+	}
+	if e.TTL < c.cfg.MinTTL {
+		e.TTL = c.cfg.MinTTL
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.Key]; ok {
+		old := el.Value.(*Entry)
+		if _, fresh := old.Remaining(now); fresh && old.Cred > e.Cred {
+			return false
+		}
+		c.order.Remove(el)
+		delete(c.entries, e.Key)
+	}
+	c.evictToFitLocked()
+	el := c.order.PushBack(&e)
+	c.entries[e.Key] = el
+	return true
+}
+
+func (c *Cache) evictToFitLocked() {
+	for len(c.entries) >= c.cfg.capacity() {
+		front := c.order.Front()
+		if front == nil {
+			return
+		}
+		old := front.Value.(*Entry)
+		c.order.Remove(front)
+		delete(c.entries, old.Key)
+		c.evictions++
+	}
+}
+
+// Get returns the fresh entry for (name, t) and its remaining TTL.
+func (c *Cache) Get(name dnswire.Name, t dnswire.Type) (*Entry, uint32, bool) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.getLocked(Key{Name: name, Type: t}, now)
+}
+
+func (c *Cache) getLocked(k Key, now time.Time) (*Entry, uint32, bool) {
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, 0, false
+	}
+	e := el.Value.(*Entry)
+	rem, fresh := e.Remaining(now)
+	if !fresh {
+		c.misses++
+		return nil, 0, false
+	}
+	c.hits++
+	return e, rem, true
+}
+
+// GetStale returns the entry even if expired, provided serve-stale is on
+// and the entry expired no more than StaleFor ago. The returned TTL for a
+// stale entry is the RFC 8767 recommendation of 30 s.
+func (c *Cache) GetStale(name dnswire.Name, t dnswire.Type) (*Entry, uint32, bool) {
+	now := c.clock.Now()
+	k := Key{Name: name, Type: t}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, rem, ok := c.getLocked(k, now); ok {
+		return e, rem, true
+	}
+	if !c.cfg.ServeStale {
+		return nil, 0, false
+	}
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, 0, false
+	}
+	e := el.Value.(*Entry)
+	if now.Sub(e.expiresAt()) > c.cfg.staleFor() {
+		return nil, 0, false
+	}
+	c.staleHits++
+	return e, 30, true
+}
+
+// Remove deletes the entry for (name, t), reporting whether it existed.
+func (c *Cache) Remove(name dnswire.Name, t dnswire.Type) bool {
+	k := Key{Name: name, Type: t}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.entries, k)
+	return true
+}
+
+// PurgeGlueOf removes every entry cached as glue for the given NS owner.
+// Resolvers with coupled NS/A lifetimes (§4.2 of the paper: in-bailiwick
+// servers) call this when the covering NS set expires or is refreshed.
+func (c *Cache) PurgeGlueOf(nsOwner dnswire.Name) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k, el := range c.entries {
+		e := el.Value.(*Entry)
+		if e.GlueOf == nsOwner {
+			c.order.Remove(el)
+			delete(c.entries, k)
+			n++
+		}
+	}
+	return n
+}
+
+// Flush empties the cache.
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[Key]*list.Element)
+	c.order.Init()
+}
+
+// Keys returns all cached keys (expired included), for inspection in tests
+// and experiments.
+func (c *Cache) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Key, 0, len(c.entries))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Entry).Key)
+	}
+	return out
+}

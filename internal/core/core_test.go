@@ -1,0 +1,312 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/zone"
+)
+
+func uyBefore() ZoneConfig {
+	return ZoneConfig{
+		Domain:      dnswire.NewName("uy"),
+		ParentNSTTL: 172800, ChildNSTTL: 300,
+		ParentGlueTTL: 172800, ChildAddrTTL: 120,
+		Bailiwick:  zone.BailiwickMixed,
+		ServiceTTL: 300,
+	}
+}
+
+func TestEffectiveNSTTL(t *testing.T) {
+	d := EffectiveNSTTL(uyBefore(), MeasuredPopulation())
+	var child, parent float64
+	for _, s := range d {
+		switch s.TTL {
+		case 300:
+			child += s.Share
+		case 172800, 21599:
+			parent += s.Share
+		}
+	}
+	if math.Abs(child-0.9) > 1e-9 {
+		t.Errorf("child share = %v, want 0.9", child)
+	}
+	if math.Abs(parent-0.1) > 1e-9 {
+		t.Errorf("parent share = %v, want 0.1", parent)
+	}
+	// Shares always sum to 1.
+	sum := 0.0
+	for _, s := range d {
+		sum += s.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestEffectiveNSTTLCapSplitsShares(t *testing.T) {
+	cfg := uyBefore()
+	cfg.ChildNSTTL = 345600 // google.co-style
+	cfg.ParentNSTTL = 900
+	d := EffectiveNSTTL(cfg, MeasuredPopulation())
+	capped := 0.0
+	for _, s := range d {
+		if s.TTL == 21599 {
+			capped += s.Share
+		}
+	}
+	// 15 % of the child-centric 90 %.
+	if math.Abs(capped-0.9*0.15) > 1e-9 {
+		t.Errorf("capped share = %v, want 0.135", capped)
+	}
+}
+
+func TestEffectiveAddrTTLBailiwick(t *testing.T) {
+	cfg := ZoneConfig{
+		ParentNSTTL: 172800, ChildNSTTL: 3600,
+		ParentGlueTTL: 172800, ChildAddrTTL: 7200,
+		Bailiwick: zone.BailiwickInOnly,
+	}
+	pop := PopulationModel{ChildCentric: 1}
+	d := EffectiveAddrTTL(cfg, pop)
+	// §4.2: in-bailiwick → min(NS, addr) = 3600.
+	if len(d) != 1 || d[0].TTL != 3600 {
+		t.Fatalf("in-bailiwick effective addr TTL = %v, want 3600", d)
+	}
+	cfg.Bailiwick = zone.BailiwickOutOnly
+	d = EffectiveAddrTTL(cfg, pop)
+	// §4.3: out-of-bailiwick → full 7200.
+	if len(d) != 1 || d[0].TTL != 7200 {
+		t.Fatalf("out-of-bailiwick effective addr TTL = %v, want 7200", d)
+	}
+	// Parent-centric share rides the glue.
+	d = EffectiveAddrTTL(cfg, PopulationModel{ParentCentric: 1})
+	if d[0].TTL != 172800 {
+		t.Errorf("parent-centric addr TTL = %v, want 172800", d)
+	}
+}
+
+func TestDistributionHelpers(t *testing.T) {
+	d := Distribution{{TTL: 100, Share: 0.5}, {TTL: 300, Share: 0.5}}
+	if d.Mean() != 200 {
+		t.Errorf("Mean = %v", d.Mean())
+	}
+	if d.Min() != 100 {
+		t.Errorf("Min = %v", d.Min())
+	}
+	if (Distribution{}).Min() != 0 {
+		t.Errorf("empty Min should be 0")
+	}
+	merged := Distribution{{TTL: 1, Share: 0.2}, {TTL: 1, Share: 0.3}, {TTL: 2, Share: 0.5}}.normalize()
+	if len(merged) != 2 || merged[0].Share != 0.5 {
+		t.Errorf("normalize = %v", merged)
+	}
+	if !strings.Contains(d.String(), "TTL 100") {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestHitRateModel(t *testing.T) {
+	if HitRate(0, 1) != 0 || HitRate(100, 0) != 0 {
+		t.Errorf("degenerate hit rates should be 0")
+	}
+	// λT/(1+λT): λ=0.01, T=100 → 0.5.
+	if got := HitRate(100, 0.01); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("HitRate = %v, want 0.5", got)
+	}
+	// Monotone in TTL.
+	prev := 0.0
+	for _, ttl := range []uint32{10, 60, 300, 3600, 86400} {
+		h := HitRate(ttl, 0.02)
+		if h <= prev {
+			t.Fatalf("hit rate not increasing at %d", ttl)
+		}
+		prev = h
+	}
+	// The paper's observation: 1800-86400 s TTLs give ≈70 % hit rates
+	// for typical demand.
+	if h := HitRate(1800, 0.0015); h < 0.6 || h > 0.8 {
+		t.Errorf("calibration: hit rate at 1800s = %.2f", h)
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	w := DefaultWorkload()
+	short := Estimate(Distribution{{TTL: 60, Share: 1}}, w)
+	long := Estimate(Distribution{{TTL: 86400, Share: 1}}, w)
+	if long.HitRate <= short.HitRate {
+		t.Errorf("long TTL must hit more: %v vs %v", long.HitRate, short.HitRate)
+	}
+	if long.MeanLatency >= short.MeanLatency {
+		t.Errorf("long TTL must be faster: %v vs %v", long.MeanLatency, short.MeanLatency)
+	}
+	if long.AuthQueriesPerHour >= short.AuthQueriesPerHour {
+		t.Errorf("long TTL must cut load: %v vs %v", long.AuthQueriesPerHour, short.AuthQueriesPerHour)
+	}
+	// Latency is bounded by the two outcome latencies.
+	if long.MeanLatency < w.CacheHitLatency || short.MeanLatency > w.MissLatency {
+		t.Errorf("latencies out of bounds: %v, %v", long.MeanLatency, short.MeanLatency)
+	}
+}
+
+func hasRule(recs []Recommendation, rule string) bool {
+	for _, r := range recs {
+		if r.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAdviseShortTTL(t *testing.T) {
+	recs := Advise(uyBefore(), Scenario{})
+	if !hasRule(recs, "short-ns-ttl") {
+		t.Errorf("300 s NS TTL should trigger short-ns-ttl: %v", recs)
+	}
+	if !hasRule(recs, "parent-child-mismatch") {
+		t.Errorf("172800 vs 300 should trigger mismatch: %v", recs)
+	}
+}
+
+func TestAdviseZeroTTL(t *testing.T) {
+	cfg := uyBefore()
+	cfg.ServiceTTL = 0
+	recs := Advise(cfg, Scenario{})
+	if !hasRule(recs, "zero-ttl") {
+		t.Errorf("zero TTL should warn: %v", recs)
+	}
+}
+
+func TestAdviseInBailiwickAddr(t *testing.T) {
+	cfg := ZoneConfig{
+		ParentNSTTL: 3600, ChildNSTTL: 3600,
+		ChildAddrTTL: 7200, Bailiwick: zone.BailiwickInOnly,
+		ServiceTTL: 3600,
+	}
+	recs := Advise(cfg, Scenario{})
+	if !hasRule(recs, "in-bailiwick-addr-exceeds-ns") {
+		t.Errorf("A > NS in bailiwick should advise: %v", recs)
+	}
+	cfg.Bailiwick = zone.BailiwickOutOnly
+	recs = Advise(cfg, Scenario{})
+	if !hasRule(recs, "out-of-bailiwick-independent") {
+		t.Errorf("out-of-bailiwick should note independence: %v", recs)
+	}
+	if hasRule(recs, "in-bailiwick-addr-exceeds-ns") {
+		t.Errorf("out-of-bailiwick must not trigger the in-bailiwick rule")
+	}
+}
+
+func TestAdviseAgility(t *testing.T) {
+	cfg := ZoneConfig{
+		ParentNSTTL: 172800, ChildNSTTL: 172800,
+		ChildAddrTTL: 3600, Bailiwick: zone.BailiwickOutOnly,
+		ServiceTTL: 86400,
+	}
+	recs := Advise(cfg, Scenario{DNSLoadBalancing: true})
+	if !hasRule(recs, "agility-service-ttl") {
+		t.Errorf("CDN scenario with 86400 service TTL should advise shorter: %v", recs)
+	}
+	// Short NS with agility need should not fire the short-ns warning…
+	cfg.ChildNSTTL = 600
+	cfg.ParentNSTTL = 600
+	recs = Advise(cfg, Scenario{DNSLoadBalancing: true})
+	if hasRule(recs, "short-ns-ttl") {
+		t.Errorf("agile scenario must not warn about short NS: %v", recs)
+	}
+	// …but should point agility at service records instead.
+	if !hasRule(recs, "agility-ns-still-long") {
+		t.Errorf("agile scenario should still prefer long NS: %v", recs)
+	}
+}
+
+func TestAdviseRegistryAndMetered(t *testing.T) {
+	cfg := uyBefore()
+	recs := Advise(cfg, Scenario{RegistryOperator: true, MeteredDNS: true})
+	if !hasRule(recs, "registry-short-delegation") {
+		t.Errorf("registry with 300 s NS should warn: %v", recs)
+	}
+	if !hasRule(recs, "metered-cost") {
+		t.Errorf("metered scenario should estimate cost: %v", recs)
+	}
+}
+
+func TestAdviseCleanConfig(t *testing.T) {
+	cfg := ZoneConfig{
+		ParentNSTTL: 86400, ChildNSTTL: 86400,
+		ParentGlueTTL: 86400, ChildAddrTTL: 86400,
+		Bailiwick: zone.BailiwickOutOnly, ServiceTTL: 14400,
+	}
+	recs := Advise(cfg, Scenario{})
+	if len(recs) != 1 || recs[0].Rule != "ok" {
+		t.Errorf("clean config should be ok: %v", recs)
+	}
+	if !strings.Contains(recs[0].String(), "INFO") {
+		t.Errorf("String() = %q", recs[0].String())
+	}
+}
+
+// TestQuickSharesSumToOne: every effective-TTL distribution is a probability
+// distribution for arbitrary configurations and populations.
+func TestQuickSharesSumToOne(t *testing.T) {
+	f := func(pNS, cNS, glue, addr uint16, bw uint8, child, parent, capShare float64) bool {
+		if math.IsNaN(child) || math.IsNaN(parent) || math.IsInf(child, 0) || math.IsInf(parent, 0) {
+			return true
+		}
+		// Bound to realistic shares; Normalize handles the rest.
+		child = math.Mod(math.Abs(child), 1)
+		parent = math.Mod(math.Abs(parent), 1)
+		if child+parent == 0 {
+			return true
+		}
+		cfg := ZoneConfig{
+			ParentNSTTL: uint32(pNS), ChildNSTTL: uint32(cNS),
+			ParentGlueTTL: uint32(glue), ChildAddrTTL: uint32(addr),
+			Bailiwick:  zone.BailiwickClass(bw % 3),
+			ServiceTTL: uint32(cNS),
+		}
+		pop := PopulationModel{
+			ChildCentric: child, ParentCentric: parent,
+			CapSeconds: 21599, CapShare: math.Mod(math.Abs(capShare), 1),
+		}
+		for _, d := range []Distribution{
+			EffectiveNSTTL(cfg, pop),
+			EffectiveAddrTTL(cfg, pop),
+			EffectiveServiceTTL(cfg, pop),
+		} {
+			sum := 0.0
+			for _, s := range d {
+				sum += s.Share
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEstimateMonotone: longer service TTLs never hurt hit rate or
+// mean latency under the model.
+func TestQuickEstimateMonotone(t *testing.T) {
+	f := func(t1, t2 uint16) bool {
+		lo, hi := uint32(t1), uint32(t2)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		w := DefaultWorkload()
+		a := Estimate(Distribution{{TTL: lo, Share: 1}}, w)
+		b := Estimate(Distribution{{TTL: hi, Share: 1}}, w)
+		return b.HitRate >= a.HitRate && b.MeanLatency <= a.MeanLatency+time.Nanosecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package crawler
+
+import (
+	"testing"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/simnet"
+	"dnsttl/internal/zonegen"
+)
+
+func crawlWorld(t *testing.T, scale float64) map[zonegen.List]*Result {
+	t.Helper()
+	clock := simnet.NewVirtualClock()
+	net := simnet.NewNetwork(5)
+	w := zonegen.Build(zonegen.Config{Seed: 42, Scale: scale}, net, clock)
+	return New(w).CrawlAll()
+}
+
+func TestCrawlResponsiveRatios(t *testing.T) {
+	results := crawlWorld(t, 0.05)
+	// Paper Table 5 ratios: Alexa .99, Majestic .93, Umbrella .78,
+	// .nl .94–.98, Root .97.
+	want := map[zonegen.List]float64{
+		zonegen.Alexa:    0.99,
+		zonegen.Majestic: 0.93,
+		zonegen.Umbrella: 0.78,
+		zonegen.NL:       0.977,
+		zonegen.Root:     0.97,
+	}
+	for l, w := range want {
+		got := results[l].ResponsiveRatio()
+		if got < w-0.08 || got > w+0.08 {
+			t.Errorf("%s responsive ratio = %.3f, want ≈%.2f", l, got, w)
+		}
+	}
+}
+
+func TestCrawlRecordPresence(t *testing.T) {
+	results := crawlWorld(t, 0.05)
+	for _, l := range zonegen.AllLists {
+		r := results[l]
+		ns := r.Types[dnswire.TypeNS]
+		if ns.Count == 0 || ns.Unique == 0 {
+			t.Errorf("%s: no NS records crawled", l)
+		}
+		if r.Types[dnswire.TypeA].Count == 0 {
+			t.Errorf("%s: no A records crawled", l)
+		}
+		// Shared hosting: NS values are reused across domains. The root's
+		// ratio is small (paper: 1.75) because many TLDs run their own
+		// in-bailiwick servers.
+		minRatio := 1.5
+		if l == zonegen.Root {
+			minRatio = 1.15
+		}
+		if ratio := ns.Ratio(); ratio < minRatio {
+			t.Errorf("%s: NS unique ratio = %.2f, want >%.2f (shared hosting)", l, ratio, minRatio)
+		}
+	}
+	// .nl has far heavier NS sharing than the top lists (Table 5:
+	// ratio 190 vs ≈9-10).
+	if results[zonegen.NL].Types[dnswire.TypeNS].Ratio() <=
+		results[zonegen.Alexa].Types[dnswire.TypeNS].Ratio() {
+		t.Errorf(".nl NS ratio (%.1f) should exceed Alexa's (%.1f)",
+			results[zonegen.NL].Types[dnswire.TypeNS].Ratio(),
+			results[zonegen.Alexa].Types[dnswire.TypeNS].Ratio())
+	}
+	// DNSSEC: .nl is far more signed than the top lists.
+	nlKeys := results[zonegen.NL].Types[dnswire.TypeDNSKEY].Count
+	alexaKeys := results[zonegen.Alexa].Types[dnswire.TypeDNSKEY].Count
+	if nlKeys == 0 || float64(nlKeys)/float64(results[zonegen.NL].Responsive) < 0.4 {
+		t.Errorf(".nl DNSKEY presence too low: %d of %d", nlKeys, results[zonegen.NL].Responsive)
+	}
+	if alexaKeys > nlKeys {
+		t.Errorf("Alexa should have fewer DNSKEYs than .nl")
+	}
+}
+
+func TestCrawlBailiwick(t *testing.T) {
+	results := crawlWorld(t, 0.05)
+	// Table 9: top lists >90 % out-only; root ≈49 %.
+	for _, l := range []zonegen.List{zonegen.Alexa, zonegen.Majestic, zonegen.Umbrella, zonegen.NL} {
+		if got := results[l].PercentOutOnly(); got < 85 {
+			t.Errorf("%s out-only = %.1f%%, want >85%%", l, got)
+		}
+	}
+	rootOut := results[zonegen.Root].PercentOutOnly()
+	if rootOut < 38 || rootOut > 60 {
+		t.Errorf("root out-only = %.1f%%, want ≈49%%", rootOut)
+	}
+	if results[zonegen.Root].InOnly == 0 || results[zonegen.Root].Mixed == 0 {
+		t.Errorf("root should have in-only and mixed TLDs: %+v", results[zonegen.Root])
+	}
+}
+
+func TestCrawlUmbrellaCNAMEAndSOA(t *testing.T) {
+	results := crawlWorld(t, 0.05)
+	u := results[zonegen.Umbrella]
+	// Table 9: Umbrella has a huge CNAME tail (452k of 783k responsive).
+	fCNAME := float64(u.CNAMEAnswers) / float64(u.Responsive)
+	if fCNAME < 0.4 || fCNAME > 0.75 {
+		t.Errorf("Umbrella CNAME fraction = %.3f, want ≈0.58", fCNAME)
+	}
+	if u.SOAAnswers == 0 {
+		t.Errorf("Umbrella should have SOA/NODATA answers")
+	}
+	// Alexa's CNAME tail is small (≈5 %).
+	a := results[zonegen.Alexa]
+	if f := float64(a.CNAMEAnswers) / float64(a.Responsive); f > 0.15 {
+		t.Errorf("Alexa CNAME fraction = %.3f, want ≈0.05", f)
+	}
+}
+
+func TestCrawlTTLShapes(t *testing.T) {
+	results := crawlWorld(t, 0.05)
+	// Figure 9a: ≈80 % of root NS TTLs are 1–2 days.
+	rootNS := results[zonegen.Root].Types[dnswire.TypeNS].TTLs
+	longFrac := 1 - rootNS.FractionBelow(86400)
+	if longFrac < 0.65 {
+		t.Errorf("root NS TTLs ≥1d = %.2f, want ≈0.8", longFrac)
+	}
+	// Umbrella NS: ≈25 % under a minute.
+	umbNS := results[zonegen.Umbrella].Types[dnswire.TypeNS].TTLs
+	if f := umbNS.FractionAtMost(60); f < 0.12 || f > 0.40 {
+		t.Errorf("Umbrella NS ≤60s = %.2f, want ≈0.25", f)
+	}
+	// NS lives longer than A for the general lists (Figure 9 trend).
+	for _, l := range []zonegen.List{zonegen.Alexa, zonegen.Majestic} {
+		ns := results[l].Types[dnswire.TypeNS].TTLs
+		a := results[l].Types[dnswire.TypeA].TTLs
+		if ns.Median() <= a.Median() {
+			t.Errorf("%s: NS median %.0f should exceed A median %.0f", l, ns.Median(), a.Median())
+		}
+	}
+}
+
+func TestCrawlZeroTTLTail(t *testing.T) {
+	results := crawlWorld(t, 0.2) // larger sample for the rare tail
+	total := 0
+	for _, l := range []zonegen.List{zonegen.Alexa, zonegen.Majestic, zonegen.Umbrella, zonegen.NL} {
+		for _, ts := range results[l].Types {
+			total += ts.ZeroTTLDomains
+		}
+	}
+	if total == 0 {
+		t.Errorf("no zero-TTL domains found; Table 8 expects a small tail")
+	}
+	// Root has none (Table 8).
+	for _, ts := range results[zonegen.Root].Types {
+		if ts.ZeroTTLDomains != 0 {
+			t.Errorf("root zero-TTL domains = %d, want 0", ts.ZeroTTLDomains)
+		}
+	}
+}
+
+func TestCrawlContentJoin(t *testing.T) {
+	results := crawlWorld(t, 0.05)
+	nl := results[zonegen.NL]
+	if len(nl.Content[zonegen.Placeholder]) == 0 {
+		t.Errorf("no placeholder domains joined")
+	}
+	if len(nl.Content[zonegen.Unclassified]) == 0 {
+		t.Errorf("no unclassified domains (most of .nl should be)")
+	}
+}
+
+func TestTypeStatsRatio(t *testing.T) {
+	ts := newTypeStats()
+	if ts.Ratio() != 0 {
+		t.Errorf("empty ratio should be 0")
+	}
+	ts.observe(dnswire.NewA("a.org", 60, "192.0.2.1"))
+	ts.observe(dnswire.NewA("a.org", 60, "192.0.2.1"))
+	ts.observe(dnswire.NewA("a.org", 60, "192.0.2.2"))
+	if ts.Count != 3 || ts.Unique != 2 || ts.Ratio() != 1.5 {
+		t.Errorf("stats = %+v", ts)
+	}
+}

@@ -1,0 +1,101 @@
+package dmap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/simnet"
+	"dnsttl/internal/zonegen"
+)
+
+func TestClassifyKeywords(t *testing.T) {
+	cases := []struct {
+		body string
+		want zonegen.ContentClass
+	}{
+		{`<div>Add-To-Cart</div>`, zonegen.Ecommerce},
+		{`buy now at our Winkelwagen page`, zonegen.Ecommerce},
+		{`this domain is parked`, zonegen.Parking},
+		{`Koop deze domeinnaam vandaag`, zonegen.Parking},
+		{`Welcome to nginx! it works`, zonegen.Placeholder},
+		{`standaard pagina van de provider`, zonegen.Placeholder},
+		{`my personal blog about cats`, zonegen.Unclassified},
+		// E-commerce outranks parking when both signals appear.
+		{`parked ... checkout`, zonegen.Ecommerce},
+	}
+	for _, c := range cases {
+		got := Classify(&Page{Status: 200, Body: c.body})
+		if got != c.want {
+			t.Errorf("Classify(%q) = %s, want %s", c.body, got, c.want)
+		}
+	}
+	if Classify(nil) != zonegen.Unclassified {
+		t.Errorf("nil page should be unclassified")
+	}
+	if Classify(&Page{Status: 404, Body: "parked"}) != zonegen.Unclassified {
+		t.Errorf("non-200 page should be unclassified")
+	}
+}
+
+func TestRenderClassifyRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, class := range []zonegen.ContentClass{zonegen.Ecommerce, zonegen.Parking, zonegen.Placeholder} {
+		agree := 0
+		n := 500
+		for i := 0; i < n; i++ {
+			d := &zonegen.Domain{Name: dnswire.NewName("x.nl"), Content: class}
+			if Classify(RenderPage(d, r)) == class {
+				agree++
+			}
+		}
+		// The 3% noise tail aside, the classifier recovers the class.
+		if float64(agree)/float64(n) < 0.9 {
+			t.Errorf("class %s recovered only %d/%d", class, agree, n)
+		}
+	}
+	// Unclassified domains stay unclassified.
+	d := &zonegen.Domain{Name: dnswire.NewName("x.nl"), Content: zonegen.Unclassified}
+	if got := Classify(RenderPage(d, r)); got != zonegen.Unclassified {
+		t.Errorf("generic page classified as %s", got)
+	}
+}
+
+func TestSurveyTable6And7(t *testing.T) {
+	clock := simnet.NewVirtualClock()
+	net := simnet.NewNetwork(5)
+	w := zonegen.Build(zonegen.Config{Seed: 42, Scale: 0.2}, net, clock)
+	s := Run(w, 7)
+
+	if s.Total == 0 {
+		t.Fatal("survey classified nothing")
+	}
+	// Table 6 proportions: placeholder ≈81 %, e-commerce ≈10 %, parking ≈9 %.
+	fPlaceholder := float64(s.Counts[zonegen.Placeholder]) / float64(s.Total)
+	if fPlaceholder < 0.7 || fPlaceholder > 0.9 {
+		t.Errorf("placeholder share = %.3f, want ≈0.81", fPlaceholder)
+	}
+	if s.Counts[zonegen.Ecommerce] == 0 || s.Counts[zonegen.Parking] == 0 {
+		t.Errorf("counts = %v", s.Counts)
+	}
+
+	// Table 7 medians (hours).
+	want := map[zonegen.ContentClass]map[dnswire.Type]float64{
+		zonegen.Ecommerce:   {dnswire.TypeNS: 4, dnswire.TypeA: 1, dnswire.TypeMX: 1, dnswire.TypeDNSKEY: 1},
+		zonegen.Parking:     {dnswire.TypeNS: 24, dnswire.TypeA: 1, dnswire.TypeMX: 1, dnswire.TypeDNSKEY: 24},
+		zonegen.Placeholder: {dnswire.TypeNS: 4, dnswire.TypeA: 1, dnswire.TypeMX: 1, dnswire.TypeDNSKEY: 4},
+	}
+	for class, byType := range want {
+		for typ, hours := range byType {
+			got := s.MedianTTLHours[class][typ]
+			if math.Abs(got-hours) > hours*0.5+0.5 {
+				t.Errorf("median TTL %s/%s = %.1f h, want ≈%.1f h", class, typ, got, hours)
+			}
+		}
+	}
+	// The headline contrast: parking NS TTLs are much longer.
+	if s.MedianTTLHours[zonegen.Parking][dnswire.TypeNS] <= s.MedianTTLHours[zonegen.Ecommerce][dnswire.TypeNS] {
+		t.Errorf("parking NS median should exceed e-commerce's")
+	}
+}

@@ -1,0 +1,54 @@
+package dnswire
+
+import "testing"
+
+func benchMessage() *Message {
+	resp := NewQuery(7, NewName("www.example.org"), TypeA).Reply()
+	resp.Header.AA = true
+	resp.AddAnswer(
+		NewA("www.example.org", 300, "192.0.2.80"),
+		NewA("www.example.org", 300, "192.0.2.81"),
+	)
+	resp.AddAuthority(
+		NewNS("example.org", 172800, "ns1.example.org"),
+		NewNS("example.org", 172800, "ns2.example.org"),
+	)
+	resp.AddAdditional(
+		NewA("ns1.example.org", 172800, "192.0.2.1"),
+		NewA("ns2.example.org", 172800, "192.0.2.2"),
+	)
+	return resp
+}
+
+// BenchmarkEncode measures serializing a typical referral-sized response.
+func BenchmarkEncode(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode measures parsing the same response.
+func BenchmarkDecode(b *testing.B) {
+	wire, err := Encode(benchMessage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNameCanonicalize measures the hot Name constructor.
+func BenchmarkNameCanonicalize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewName("WWW.Example.ORG")
+	}
+}

@@ -1,0 +1,392 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Decoding errors.
+var (
+	ErrShortMessage    = errors.New("dnswire: message too short")
+	ErrPointerLoop     = errors.New("dnswire: compression pointer loop")
+	ErrTrailingGarbage = errors.New("dnswire: bytes remain after final record")
+)
+
+type decoder struct {
+	wire []byte
+	off  int
+}
+
+// Decode parses a wire-format DNS message.
+func Decode(wire []byte) (*Message, error) {
+	d := &decoder{wire: wire}
+	m := &Message{}
+	qd, an, ns, ar, err := d.readHeader(&m.Header)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < qd; i++ {
+		q, err := d.readQuestion()
+		if err != nil {
+			return nil, fmt.Errorf("question %d: %w", i, err)
+		}
+		m.Question = append(m.Question, q)
+	}
+	var opt *OPT
+	read := func(n int, dst *[]RR, sec string) error {
+		for i := 0; i < n; i++ {
+			rr, err := d.readRR()
+			if err != nil {
+				return fmt.Errorf("%s record %d: %w", sec, i, err)
+			}
+			if rr.Type == TypeOPT {
+				if o, ok := rr.Data.(OPT); ok {
+					opt = &o
+				}
+			}
+			*dst = append(*dst, rr)
+		}
+		return nil
+	}
+	if err := read(an, &m.Answer, "answer"); err != nil {
+		return nil, err
+	}
+	if err := read(ns, &m.Authority, "authority"); err != nil {
+		return nil, err
+	}
+	if err := read(ar, &m.Additional, "additional"); err != nil {
+		return nil, err
+	}
+	if opt != nil {
+		// Fold the extended RCode bits in (RFC 6891 §6.1.3).
+		m.Header.RCode |= RCode(opt.ExtendedRCode) << 4
+	}
+	if d.off != len(d.wire) {
+		return nil, ErrTrailingGarbage
+	}
+	return m, nil
+}
+
+func (d *decoder) need(n int) error {
+	if d.off+n > len(d.wire) {
+		return ErrShortMessage
+	}
+	return nil
+}
+
+func (d *decoder) readU8() (uint8, error) {
+	if err := d.need(1); err != nil {
+		return 0, err
+	}
+	v := d.wire[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *decoder) readU16() (uint16, error) {
+	if err := d.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(d.wire[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *decoder) readU32() (uint32, error) {
+	if err := d.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(d.wire[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) readHeader(h *Header) (qd, an, ns, ar int, err error) {
+	if err = d.need(12); err != nil {
+		return
+	}
+	h.ID = binary.BigEndian.Uint16(d.wire)
+	flags := binary.BigEndian.Uint16(d.wire[2:])
+	h.QR = flags&(1<<15) != 0
+	h.Opcode = Opcode(flags >> 11 & 0xF)
+	h.AA = flags&(1<<10) != 0
+	h.TC = flags&(1<<9) != 0
+	h.RD = flags&(1<<8) != 0
+	h.RA = flags&(1<<7) != 0
+	h.AD = flags&(1<<5) != 0
+	h.CD = flags&(1<<4) != 0
+	h.RCode = RCode(flags & 0xF)
+	qd = int(binary.BigEndian.Uint16(d.wire[4:]))
+	an = int(binary.BigEndian.Uint16(d.wire[6:]))
+	ns = int(binary.BigEndian.Uint16(d.wire[8:]))
+	ar = int(binary.BigEndian.Uint16(d.wire[10:]))
+	d.off = 12
+	return
+}
+
+// readName reads a possibly-compressed name starting at the current offset.
+func (d *decoder) readName() (Name, error) {
+	name, next, err := readNameAt(d.wire, d.off)
+	if err != nil {
+		return "", err
+	}
+	d.off = next
+	return name, nil
+}
+
+// readNameAt reads a name at offset off in wire, following compression
+// pointers, and returns the name plus the offset just past the name's bytes
+// at the top level (pointers are not followed for the return offset).
+func readNameAt(wire []byte, off int) (Name, int, error) {
+	var sb strings.Builder
+	ret := -1 // offset to return to after first pointer
+	hops := 0
+	for {
+		if off >= len(wire) {
+			return "", 0, ErrShortMessage
+		}
+		b := wire[off]
+		switch {
+		case b == 0:
+			if ret < 0 {
+				ret = off + 1
+			}
+			if sb.Len() == 0 {
+				return Root, ret, nil
+			}
+			return NewName(sb.String()), ret, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(wire) {
+				return "", 0, ErrShortMessage
+			}
+			ptr := int(binary.BigEndian.Uint16(wire[off:]) & 0x3FFF)
+			if ret < 0 {
+				ret = off + 2
+			}
+			hops++
+			if hops > 127 || ptr >= off {
+				// A pointer must point strictly backwards; forward or
+				// self-pointers can only form loops.
+				return "", 0, ErrPointerLoop
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type %#x", b&0xC0)
+		default:
+			n := int(b)
+			if off+1+n > len(wire) {
+				return "", 0, ErrShortMessage
+			}
+			sb.Write(wire[off+1 : off+1+n])
+			sb.WriteByte('.')
+			off += 1 + n
+		}
+	}
+}
+
+func (d *decoder) readQuestion() (Question, error) {
+	name, err := d.readName()
+	if err != nil {
+		return Question{}, err
+	}
+	t, err := d.readU16()
+	if err != nil {
+		return Question{}, err
+	}
+	c, err := d.readU16()
+	if err != nil {
+		return Question{}, err
+	}
+	return Question{Name: name, Type: Type(t), Class: Class(c)}, nil
+}
+
+func (d *decoder) readRR() (RR, error) {
+	name, err := d.readName()
+	if err != nil {
+		return RR{}, err
+	}
+	t16, err := d.readU16()
+	if err != nil {
+		return RR{}, err
+	}
+	c16, err := d.readU16()
+	if err != nil {
+		return RR{}, err
+	}
+	ttl, err := d.readU32()
+	if err != nil {
+		return RR{}, err
+	}
+	rdlen, err := d.readU16()
+	if err != nil {
+		return RR{}, err
+	}
+	if err := d.need(int(rdlen)); err != nil {
+		return RR{}, err
+	}
+	rr := RR{Name: name, Type: Type(t16), Class: Class(c16), TTL: ttl}
+	end := d.off + int(rdlen)
+	if rr.Type == TypeOPT {
+		// RFC 6891: class is the UDP size, TTL carries flags.
+		rr.Data = OPT{
+			UDPSize:       c16,
+			ExtendedRCode: uint8(ttl >> 24),
+			Version:       uint8(ttl >> 16),
+			DO:            ttl&(1<<15) != 0,
+		}
+		d.off = end // option TLVs are skipped
+		return rr, nil
+	}
+	if err := d.readRData(&rr, end); err != nil {
+		return RR{}, err
+	}
+	if d.off != end {
+		return RR{}, fmt.Errorf("dnswire: RDATA length mismatch for %s %s", name, rr.Type)
+	}
+	return rr, nil
+}
+
+func (d *decoder) readRData(rr *RR, end int) error {
+	switch rr.Type {
+	case TypeA:
+		if end-d.off != 4 {
+			return fmt.Errorf("dnswire: A RDATA must be 4 bytes, got %d", end-d.off)
+		}
+		var b [4]byte
+		copy(b[:], d.wire[d.off:end])
+		d.off = end
+		rr.Data = A{Addr: netip.AddrFrom4(b)}
+	case TypeAAAA:
+		if end-d.off != 16 {
+			return fmt.Errorf("dnswire: AAAA RDATA must be 16 bytes, got %d", end-d.off)
+		}
+		var b [16]byte
+		copy(b[:], d.wire[d.off:end])
+		d.off = end
+		rr.Data = AAAA{Addr: netip.AddrFrom16(b)}
+	case TypeNS:
+		host, err := d.readName()
+		if err != nil {
+			return err
+		}
+		rr.Data = NS{Host: host}
+	case TypeCNAME:
+		target, err := d.readName()
+		if err != nil {
+			return err
+		}
+		rr.Data = CNAME{Target: target}
+	case TypePTR:
+		target, err := d.readName()
+		if err != nil {
+			return err
+		}
+		rr.Data = PTR{Target: target}
+	case TypeMX:
+		pref, err := d.readU16()
+		if err != nil {
+			return err
+		}
+		host, err := d.readName()
+		if err != nil {
+			return err
+		}
+		rr.Data = MX{Preference: pref, Host: host}
+	case TypeTXT:
+		var txt TXT
+		for d.off < end {
+			n, err := d.readU8()
+			if err != nil {
+				return err
+			}
+			if d.off+int(n) > end {
+				return ErrShortMessage
+			}
+			txt.Strings = append(txt.Strings, string(d.wire[d.off:d.off+int(n)]))
+			d.off += int(n)
+		}
+		rr.Data = txt
+	case TypeSOA:
+		var s SOA
+		var err error
+		if s.MName, err = d.readName(); err != nil {
+			return err
+		}
+		if s.RName, err = d.readName(); err != nil {
+			return err
+		}
+		for _, p := range []*uint32{&s.Serial, &s.Refresh, &s.Retry, &s.Expire, &s.Minimum} {
+			if *p, err = d.readU32(); err != nil {
+				return err
+			}
+		}
+		rr.Data = s
+	case TypeDNSKEY:
+		var k DNSKEY
+		var err error
+		if k.Flags, err = d.readU16(); err != nil {
+			return err
+		}
+		if k.Protocol, err = d.readU8(); err != nil {
+			return err
+		}
+		if k.Algorithm, err = d.readU8(); err != nil {
+			return err
+		}
+		k.PublicKey = append([]byte(nil), d.wire[d.off:end]...)
+		d.off = end
+		rr.Data = k
+	case TypeDS:
+		var ds DS
+		var err error
+		if ds.KeyTag, err = d.readU16(); err != nil {
+			return err
+		}
+		if ds.Algorithm, err = d.readU8(); err != nil {
+			return err
+		}
+		if ds.DigestType, err = d.readU8(); err != nil {
+			return err
+		}
+		ds.Digest = append([]byte(nil), d.wire[d.off:end]...)
+		d.off = end
+		rr.Data = ds
+	case TypeRRSIG:
+		var s RRSIG
+		tc, err := d.readU16()
+		if err != nil {
+			return err
+		}
+		s.TypeCovered = Type(tc)
+		if s.Algorithm, err = d.readU8(); err != nil {
+			return err
+		}
+		if s.Labels, err = d.readU8(); err != nil {
+			return err
+		}
+		for _, p := range []*uint32{&s.OriginalTTL, &s.Expiration, &s.Inception} {
+			if *p, err = d.readU32(); err != nil {
+				return err
+			}
+		}
+		if s.KeyTag, err = d.readU16(); err != nil {
+			return err
+		}
+		if s.SignerName, err = d.readName(); err != nil {
+			return err
+		}
+		if d.off > end {
+			return ErrShortMessage
+		}
+		s.Signature = append([]byte(nil), d.wire[d.off:end]...)
+		d.off = end
+		rr.Data = s
+	default:
+		rr.Raw = append([]byte(nil), d.wire[d.off:end]...)
+		d.off = end
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// encoder serializes a message with RFC 1035 §4.1.4 name compression.
+type encoder struct {
+	buf []byte
+	// offsets maps a fully-qualified name (as stored in Name) to the wire
+	// offset of its first occurrence, for compression pointers.
+	offsets map[Name]int
+}
+
+// Encode serializes m to wire format. It never truncates; callers enforcing
+// UDP size limits should use EncodeWithLimit.
+func Encode(m *Message) ([]byte, error) {
+	e := &encoder{buf: make([]byte, 0, 512), offsets: make(map[Name]int)}
+	return e.encode(m)
+}
+
+// EncodeWithLimit serializes m, and if the result exceeds limit bytes it
+// returns a truncated message: header with TC set, question retained, all RR
+// sections dropped — the conservative behavior of most servers.
+func EncodeWithLimit(m *Message, limit int) ([]byte, error) {
+	wire, err := Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	if limit <= 0 || len(wire) <= limit {
+		return wire, nil
+	}
+	tm := &Message{Header: m.Header, Question: m.Question}
+	tm.Header.TC = true
+	return Encode(tm)
+}
+
+func (e *encoder) encode(m *Message) ([]byte, error) {
+	e.writeHeader(m)
+	for _, q := range m.Question {
+		if err := e.writeName(q.Name); err != nil {
+			return nil, err
+		}
+		e.writeU16(uint16(q.Type))
+		e.writeU16(uint16(q.Class))
+	}
+	for _, sec := range [][]RR{m.Answer, m.Authority, m.Additional} {
+		for _, rr := range sec {
+			if err := e.writeRR(rr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return e.buf, nil
+}
+
+func (e *encoder) writeHeader(m *Message) {
+	h := m.Header
+	var flags uint16
+	if h.QR {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.Opcode&0xF) << 11
+	if h.AA {
+		flags |= 1 << 10
+	}
+	if h.TC {
+		flags |= 1 << 9
+	}
+	if h.RD {
+		flags |= 1 << 8
+	}
+	if h.RA {
+		flags |= 1 << 7
+	}
+	if h.AD {
+		flags |= 1 << 5
+	}
+	if h.CD {
+		flags |= 1 << 4
+	}
+	flags |= uint16(h.RCode) & 0xF
+	e.writeU16(h.ID)
+	e.writeU16(flags)
+	e.writeU16(uint16(len(m.Question)))
+	e.writeU16(uint16(len(m.Answer)))
+	e.writeU16(uint16(len(m.Authority)))
+	e.writeU16(uint16(len(m.Additional)))
+}
+
+func (e *encoder) writeU8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) writeU16(v uint16) { e.buf = binary.BigEndian.AppendUint16(e.buf, v) }
+func (e *encoder) writeU32(v uint32) { e.buf = binary.BigEndian.AppendUint32(e.buf, v) }
+
+// writeName emits name with compression: at each label boundary, if the
+// remaining suffix has been emitted before at an offset that fits in 14
+// bits, a pointer is written instead. Names are stored canonically, so
+// every suffix is a zero-copy slice of the name itself.
+func (e *encoder) writeName(name Name) error {
+	if err := name.Valid(); err != nil {
+		return err
+	}
+	s := string(name)
+	if name.IsRoot() {
+		e.writeU8(0)
+		return nil
+	}
+	pos := 0
+	for pos < len(s) {
+		suffix := Name(s[pos:])
+		if off, ok := e.offsets[suffix]; ok && off < 0x4000 {
+			e.writeU16(0xC000 | uint16(off))
+			return nil
+		}
+		if len(e.buf) < 0x4000 {
+			e.offsets[suffix] = len(e.buf)
+		}
+		end := strings.IndexByte(s[pos:], '.') + pos
+		label := s[pos:end]
+		e.writeU8(uint8(len(label)))
+		e.buf = append(e.buf, label...)
+		pos = end + 1
+	}
+	e.writeU8(0)
+	return nil
+}
+
+func (e *encoder) writeRR(rr RR) error {
+	if rr.Type == TypeOPT {
+		return e.writeOPT(rr)
+	}
+	if err := e.writeName(rr.Name); err != nil {
+		return err
+	}
+	e.writeU16(uint16(rr.Type))
+	e.writeU16(uint16(rr.Class))
+	e.writeU32(rr.TTL)
+
+	// Reserve RDLENGTH, fill after writing RDATA.
+	lenAt := len(e.buf)
+	e.writeU16(0)
+	start := len(e.buf)
+	if err := e.writeRData(rr); err != nil {
+		return err
+	}
+	rdlen := len(e.buf) - start
+	if rdlen > 0xFFFF {
+		return fmt.Errorf("dnswire: RDATA of %s too long (%d bytes)", rr.Name, rdlen)
+	}
+	binary.BigEndian.PutUint16(e.buf[lenAt:], uint16(rdlen))
+	return nil
+}
+
+func (e *encoder) writeOPT(rr RR) error {
+	opt, ok := rr.Data.(OPT)
+	if !ok {
+		return fmt.Errorf("dnswire: OPT record without OPT data")
+	}
+	e.writeU8(0) // root owner name
+	e.writeU16(uint16(TypeOPT))
+	e.writeU16(opt.UDPSize)
+	var ttl uint32
+	ttl |= uint32(opt.ExtendedRCode) << 24
+	ttl |= uint32(opt.Version) << 16
+	if opt.DO {
+		ttl |= 1 << 15
+	}
+	e.writeU32(ttl)
+	e.writeU16(0) // no options
+	return nil
+}
+
+func (e *encoder) writeRData(rr RR) error {
+	switch d := rr.Data.(type) {
+	case nil:
+		e.buf = append(e.buf, rr.Raw...)
+		return nil
+	case A:
+		if !d.Addr.Is4() {
+			return fmt.Errorf("dnswire: A record %s carries non-IPv4 address %s", rr.Name, d.Addr)
+		}
+		b := d.Addr.As4()
+		e.buf = append(e.buf, b[:]...)
+	case AAAA:
+		if !d.Addr.Is6() || d.Addr.Is4In6() {
+			return fmt.Errorf("dnswire: AAAA record %s carries non-IPv6 address %s", rr.Name, d.Addr)
+		}
+		b := d.Addr.As16()
+		e.buf = append(e.buf, b[:]...)
+	case NS:
+		return e.writeName(d.Host)
+	case CNAME:
+		return e.writeName(d.Target)
+	case PTR:
+		return e.writeName(d.Target)
+	case MX:
+		e.writeU16(d.Preference)
+		return e.writeName(d.Host)
+	case TXT:
+		for _, s := range d.Strings {
+			if len(s) > 255 {
+				return fmt.Errorf("dnswire: TXT string exceeds 255 bytes")
+			}
+			e.writeU8(uint8(len(s)))
+			e.buf = append(e.buf, s...)
+		}
+	case SOA:
+		if err := e.writeName(d.MName); err != nil {
+			return err
+		}
+		if err := e.writeName(d.RName); err != nil {
+			return err
+		}
+		e.writeU32(d.Serial)
+		e.writeU32(d.Refresh)
+		e.writeU32(d.Retry)
+		e.writeU32(d.Expire)
+		e.writeU32(d.Minimum)
+	case DNSKEY:
+		e.writeU16(d.Flags)
+		e.writeU8(d.Protocol)
+		e.writeU8(d.Algorithm)
+		e.buf = append(e.buf, d.PublicKey...)
+	case DS:
+		e.writeU16(d.KeyTag)
+		e.writeU8(d.Algorithm)
+		e.writeU8(d.DigestType)
+		e.buf = append(e.buf, d.Digest...)
+	case RRSIG:
+		e.writeU16(uint16(d.TypeCovered))
+		e.writeU8(d.Algorithm)
+		e.writeU8(d.Labels)
+		e.writeU32(d.OriginalTTL)
+		e.writeU32(d.Expiration)
+		e.writeU32(d.Inception)
+		e.writeU16(d.KeyTag)
+		// RFC 4034 §3.1.7: the signer name is not compressed.
+		e.writeNameUncompressed(d.SignerName)
+		e.buf = append(e.buf, d.Signature...)
+	default:
+		return fmt.Errorf("dnswire: cannot encode RDATA type %T", rr.Data)
+	}
+	return nil
+}
+
+func (e *encoder) writeNameUncompressed(name Name) {
+	for _, label := range name.Labels() {
+		e.writeU8(uint8(len(label)))
+		e.buf = append(e.buf, label...)
+	}
+	e.writeU8(0)
+}

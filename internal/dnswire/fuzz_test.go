@@ -1,0 +1,85 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the wire decoder with arbitrary bytes; it must never
+// panic, and anything it accepts must re-encode and re-decode to the same
+// message (decode∘encode idempotence on the accepted set).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: valid messages of increasing complexity.
+	seed := func(m *Message) {
+		wire, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	seed(NewQuery(1, NewName("example.org"), TypeA))
+	resp := NewQuery(2, NewName("www.example.org"), TypeAAAA).Reply()
+	resp.Header.AA = true
+	resp.AddAnswer(NewAAAA("www.example.org", 300, "2001:db8::1"))
+	resp.AddAuthority(NewNS("example.org", 3600, "ns1.example.org"))
+	resp.AddAdditional(NewA("ns1.example.org", 7200, "192.0.2.53"))
+	seed(resp)
+	soa := NewQuery(3, NewName("x.org"), TypeSOA).Reply()
+	soa.AddAnswer(NewSOA("x.org", 60, "ns.x.org", "h.x.org", 1, 2, 3, 4, 5))
+	soa.AddAdditional(RR{Name: Root, Type: TypeOPT, Data: OPT{UDPSize: 4096, DO: true}})
+	seed(soa)
+	f.Add([]byte{0xC0, 0x0C})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		wire2, err := Encode(m)
+		if err != nil {
+			// Some decoded forms are not re-encodable (e.g. counts that
+			// exceeded section contents); that is acceptable as long as
+			// decoding did not panic.
+			return
+		}
+		m2, err := Decode(wire2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(m2.Answer) != len(m.Answer) || len(m2.Question) != len(m.Question) {
+			t.Fatalf("re-decode changed shape: %d/%d answers", len(m2.Answer), len(m.Answer))
+		}
+	})
+}
+
+// FuzzNameRoundTrip checks name canonicalization stability: NewName is
+// idempotent and valid names survive a wire round trip.
+func FuzzNameRoundTrip(f *testing.F) {
+	f.Add("example.org")
+	f.Add("EXAMPLE.ORG.")
+	f.Add(".")
+	f.Add("a.b.c.d.e.f")
+	f.Add("xn--nxasmq6b.example")
+	f.Fuzz(func(t *testing.T, s string) {
+		n := NewName(s)
+		if NewName(string(n)) != n {
+			t.Fatalf("NewName not idempotent for %q", s)
+		}
+		if n.Valid() != nil {
+			return
+		}
+		m := NewQuery(1, n, TypeA)
+		wire, err := Encode(m)
+		if err != nil {
+			return // non-ASCII labels etc. may fail encode limits
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("decode of valid name %q failed: %v", n, err)
+		}
+		if got.Q().Name != n {
+			t.Fatalf("name changed in round trip: %q → %q", n, got.Q().Name)
+		}
+	})
+}

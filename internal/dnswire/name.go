@@ -1,0 +1,154 @@
+package dnswire
+
+import (
+	"errors"
+	"strings"
+)
+
+// Name is a fully-qualified, case-normalized domain name in presentation
+// form, always ending with a trailing dot ("example.org."). The root is ".".
+//
+// Names are stored lowercased; DNS name comparison is case-insensitive
+// (RFC 1035 §2.3.3) and every package in this module relies on Name values
+// being directly comparable with ==.
+type Name string
+
+// Root is the DNS root name.
+const Root Name = "."
+
+// Errors returned by name validation.
+var (
+	ErrNameTooLong  = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dnswire: label exceeds 63 octets")
+	ErrEmptyLabel   = errors.New("dnswire: empty label")
+)
+
+// NewName canonicalizes s into a Name: lowercases it and ensures a trailing
+// dot. It does not validate lengths; use Valid for that.
+func NewName(s string) Name {
+	if s == "" || s == "." {
+		return Root
+	}
+	s = strings.ToLower(s)
+	if !strings.HasSuffix(s, ".") {
+		s += "."
+	}
+	return Name(s)
+}
+
+// MustName is NewName plus validation, panicking on invalid input. It is
+// intended for constants and tests.
+func MustName(s string) Name {
+	n := NewName(s)
+	if err := n.Valid(); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Valid reports whether the name obeys RFC 1035 length limits.
+func (n Name) Valid() error {
+	if n == Root {
+		return nil
+	}
+	// Wire length: one length octet per label plus label bytes, plus the
+	// terminating zero octet.
+	wire := 1
+	for _, label := range n.Labels() {
+		if label == "" {
+			return ErrEmptyLabel
+		}
+		if len(label) > 63 {
+			return ErrLabelTooLong
+		}
+		wire += 1 + len(label)
+	}
+	if wire > 255 {
+		return ErrNameTooLong
+	}
+	return nil
+}
+
+// IsRoot reports whether the name is the DNS root.
+func (n Name) IsRoot() bool { return n == Root || n == "" }
+
+// Labels returns the name's labels, most-specific first, excluding the root.
+// "www.example.org." → ["www", "example", "org"].
+func (n Name) Labels() []string {
+	if n.IsRoot() {
+		return nil
+	}
+	return strings.Split(strings.TrimSuffix(string(n), "."), ".")
+}
+
+// CountLabels returns the number of labels, 0 for the root.
+func (n Name) CountLabels() int {
+	if n.IsRoot() {
+		return 0
+	}
+	return strings.Count(strings.TrimSuffix(string(n), "."), ".") + 1
+}
+
+// Parent returns the name with its leftmost label removed;
+// "www.example.org." → "example.org.". The parent of the root is the root.
+func (n Name) Parent() Name {
+	if n.IsRoot() {
+		return Root
+	}
+	s := strings.TrimSuffix(string(n), ".")
+	if i := strings.IndexByte(s, '.'); i >= 0 {
+		return Name(s[i+1:] + ".")
+	}
+	return Root
+}
+
+// Child returns label + "." + n, e.g. Root.Child("org") → "org.".
+func (n Name) Child(label string) Name {
+	label = strings.ToLower(label)
+	if n.IsRoot() {
+		return Name(label + ".")
+	}
+	return Name(label + "." + string(n))
+}
+
+// IsSubdomainOf reports whether n is equal to or falls under ancestor.
+// Every name is a subdomain of the root. This is the "in bailiwick"
+// predicate from RFC 8499 used throughout §4 of the paper.
+func (n Name) IsSubdomainOf(ancestor Name) bool {
+	if ancestor.IsRoot() {
+		return true
+	}
+	if n == ancestor {
+		return true
+	}
+	return strings.HasSuffix(string(n), "."+string(ancestor))
+}
+
+// CommonAncestor returns the deepest name that is an ancestor of both names.
+func CommonAncestor(a, b Name) Name {
+	al, bl := a.Labels(), b.Labels()
+	n := 0
+	for n < len(al) && n < len(bl) && al[len(al)-1-n] == bl[len(bl)-1-n] {
+		n++
+	}
+	if n == 0 {
+		return Root
+	}
+	return Name(strings.Join(al[len(al)-n:], ".") + ".")
+}
+
+// String returns the presentation form.
+func (n Name) String() string {
+	if n.IsRoot() {
+		return "."
+	}
+	return string(n)
+}
+
+// wireLen returns the uncompressed wire length of the name.
+func (n Name) wireLen() int {
+	if n.IsRoot() {
+		return 1
+	}
+	return len(n) + 1
+}

@@ -1,0 +1,188 @@
+// Package dnswire implements the DNS wire format defined in RFC 1034 and
+// RFC 1035, with the extensions needed by this reproduction: EDNS0 (RFC 6891)
+// and the DNSSEC record types (RFC 4034) that carry TTL-relevant semantics.
+//
+// The package is self-contained (standard library only) and is the substrate
+// for every other package in this module: authoritative servers, recursive
+// resolvers, crawlers and the measurement harness all exchange []byte
+// messages encoded and decoded here, exactly as a real deployment would.
+package dnswire
+
+import "fmt"
+
+// Type is a DNS RR type code (RFC 1035 §3.2.2 and successors).
+type Type uint16
+
+// RR type codes used by this module.
+const (
+	TypeNone   Type = 0
+	TypeA      Type = 1
+	TypeNS     Type = 2
+	TypeCNAME  Type = 5
+	TypeSOA    Type = 6
+	TypePTR    Type = 12
+	TypeMX     Type = 15
+	TypeTXT    Type = 16
+	TypeAAAA   Type = 28
+	TypeOPT    Type = 41
+	TypeDS     Type = 43
+	TypeRRSIG  Type = 46
+	TypeNSEC   Type = 47
+	TypeDNSKEY Type = 48
+	TypeANY    Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeNone:   "NONE",
+	TypeA:      "A",
+	TypeNS:     "NS",
+	TypeCNAME:  "CNAME",
+	TypeSOA:    "SOA",
+	TypePTR:    "PTR",
+	TypeMX:     "MX",
+	TypeTXT:    "TXT",
+	TypeAAAA:   "AAAA",
+	TypeOPT:    "OPT",
+	TypeDS:     "DS",
+	TypeRRSIG:  "RRSIG",
+	TypeNSEC:   "NSEC",
+	TypeDNSKEY: "DNSKEY",
+	TypeANY:    "ANY",
+}
+
+var typeValues = func() map[string]Type {
+	m := make(map[string]Type, len(typeNames))
+	for t, n := range typeNames {
+		m[n] = t
+	}
+	return m
+}()
+
+func (t Type) String() string {
+	if n, ok := typeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// ParseType converts a textual RR type ("A", "NS", ...) to its code.
+func ParseType(s string) (Type, error) {
+	if t, ok := typeValues[s]; ok {
+		return t, nil
+	}
+	return TypeNone, fmt.Errorf("dnswire: unknown RR type %q", s)
+}
+
+// Class is a DNS class code. Only IN is used in practice.
+type Class uint16
+
+const (
+	ClassIN  Class = 1
+	ClassCH  Class = 3
+	ClassANY Class = 255
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassIN:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// Opcode is the 4-bit query kind in the message header.
+type Opcode uint8
+
+const (
+	OpcodeQuery  Opcode = 0
+	OpcodeIQuery Opcode = 1
+	OpcodeStatus Opcode = 2
+	OpcodeNotify Opcode = 4
+	OpcodeUpdate Opcode = 5
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpcodeQuery:
+		return "QUERY"
+	case OpcodeIQuery:
+		return "IQUERY"
+	case OpcodeStatus:
+		return "STATUS"
+	case OpcodeNotify:
+		return "NOTIFY"
+	case OpcodeUpdate:
+		return "UPDATE"
+	}
+	return fmt.Sprintf("OPCODE%d", uint8(o))
+}
+
+// RCode is the 4-bit response code (extended RCode bits from EDNS0 are
+// folded in by the decoder when an OPT record is present).
+type RCode uint16
+
+const (
+	RCodeNoError  RCode = 0
+	RCodeFormErr  RCode = 1
+	RCodeServFail RCode = 2
+	RCodeNXDomain RCode = 3
+	RCodeNotImp   RCode = 4
+	RCodeRefused  RCode = 5
+)
+
+func (r RCode) String() string {
+	switch r {
+	case RCodeNoError:
+		return "NOERROR"
+	case RCodeFormErr:
+		return "FORMERR"
+	case RCodeServFail:
+		return "SERVFAIL"
+	case RCodeNXDomain:
+		return "NXDOMAIN"
+	case RCodeNotImp:
+		return "NOTIMP"
+	case RCodeRefused:
+		return "REFUSED"
+	}
+	return fmt.Sprintf("RCODE%d", uint16(r))
+}
+
+// Section identifies which part of a message a record appeared in. The paper
+// (§3.1) shows that resolvers weigh TTLs differently depending on whether a
+// record arrived as an authoritative answer, as authority (delegation NS), or
+// as additional (glue) data, so the section is first-class in this module.
+type Section uint8
+
+const (
+	SectionAnswer Section = iota
+	SectionAuthority
+	SectionAdditional
+)
+
+func (s Section) String() string {
+	switch s {
+	case SectionAnswer:
+		return "answer"
+	case SectionAuthority:
+		return "authority"
+	case SectionAdditional:
+		return "additional"
+	}
+	return fmt.Sprintf("section%d", uint8(s))
+}
+
+// MaxUDPSize is the classic 512-byte DNS/UDP payload limit (RFC 1035 §2.3.4).
+const MaxUDPSize = 512
+
+// MaxEDNSSize is the EDNS0 payload size this module advertises.
+const MaxEDNSSize = 4096
+
+// MaxTTL is the largest TTL value a conforming implementation may treat as
+// valid: RFC 2181 §8 limits TTLs to 2^31-1; larger values must be treated
+// as zero.
+const MaxTTL = 1<<31 - 1

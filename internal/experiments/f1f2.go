@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dnsttl/internal/atlas"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/stats"
+)
+
+// CentricityConfig parameterizes one §3.2/§3.3-style centricity campaign.
+type CentricityConfig struct {
+	ID, Title string
+	// Name and Type are the probed question.
+	Name dnswire.Name
+	Type dnswire.Type
+	// ParentTTL and ChildTTL are the two ground-truth values whose
+	// competition the experiment measures.
+	ParentTTL, ChildTTL uint32
+	// Probes and Rounds size the campaign (the paper: ~9k probes,
+	// 600 s × 2-3 h).
+	Probes, Rounds int
+	Seed           int64
+}
+
+// runCentricity probes (Name, Type) from a default-mix fleet and classifies
+// every answered TTL against the parent/child ground truth.
+func runCentricity(tb *Testbed, cfg CentricityConfig) *Report {
+	fleet := tb.Fleet(cfg.Probes, nil, cfg.Seed)
+	resps := fleet.Run(tb.Clock, atlas.Schedule{
+		Name: cfg.Name, Type: cfg.Type,
+		Interval: 600 * time.Second,
+		Rounds:   cfg.Rounds,
+		Jitter:   true,
+	})
+
+	ttls := stats.NewSample()
+	valid, discarded := 0, 0
+	childish, parentish, fullParent, overParent := 0, 0, 0, 0
+	for _, r := range resps {
+		if !r.Valid() || r.TTL == 0 {
+			discarded++
+			continue
+		}
+		valid++
+		ttls.Add(float64(r.TTL))
+		switch {
+		case r.TTL <= cfg.ChildTTL:
+			childish++
+		case r.TTL == cfg.ParentTTL:
+			fullParent++
+			parentish++
+		case r.TTL > cfg.ParentTTL:
+			overParent++
+		default:
+			parentish++
+		}
+	}
+	fChild := frac(childish, valid)
+	fParent := frac(parentish, valid) // includes answers at the full parent TTL
+	fFull := frac(fullParent, valid)
+
+	fig := stats.RenderCDF(
+		fmt.Sprintf("%s: answered TTLs for %s %s (child=%d s, parent=%d s)",
+			cfg.ID, cfg.Name, cfg.Type, cfg.ChildTTL, cfg.ParentTTL),
+		"TTL (s)", map[string]*stats.Sample{"observed TTL": ttls}, 64, true)
+
+	tbl := &stats.Table{
+		Title:  "Campaign summary (cf. Table 2)",
+		Header: []string{"quantity", "value"},
+	}
+	tbl.AddRow("probes", stats.FormatCount(cfg.Probes))
+	tbl.AddRow("VPs", stats.FormatCount(len(fleet.VPs)))
+	tbl.AddRow("responses (valid)", stats.FormatCount(valid))
+	tbl.AddRow("responses (disc.)", stats.FormatCount(discarded))
+	tbl.AddRow("child-centric answers (TTL<=child)", fmt.Sprintf("%.1f%%", 100*fChild))
+	tbl.AddRow("parent-centric answers", fmt.Sprintf("%.1f%%", 100*fParent))
+	tbl.AddRow("full parent TTL", fmt.Sprintf("%.1f%%", 100*fFull))
+
+	rep := &Report{
+		ID:    cfg.ID,
+		Title: cfg.Title,
+		Text:  tbl.String() + "\n" + fig,
+		Metrics: map[string]float64{
+			"frac_child_centric": fChild,
+			"frac_parent_ttl":    fParent,
+			"frac_full_parent":   fFull,
+			"frac_over_parent":   frac(overParent, valid),
+			"valid_responses":    float64(valid),
+			"vps":                float64(len(fleet.VPs)),
+			"median_ttl":         ttls.Median(),
+		},
+	}
+	rep.AddSeries("observed_ttl_s", ttls)
+	return rep
+}
+
+func frac(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// Figure1UyNS is the .uy-NS experiment: child 300 s vs parent 172800 s;
+// ~90 % of answers follow the child.
+func Figure1UyNS(probes int, seed int64) *Report {
+	tb := NewTestbed(seed)
+	return runCentricity(tb, CentricityConfig{
+		ID: "Figure 1a", Title: "Resolver centricity for .uy NS (child 300 s vs parent 172800 s)",
+		Name: dnswire.NewName("uy"), Type: dnswire.TypeNS,
+		ParentTTL: 172800, ChildTTL: 300,
+		Probes: probes, Rounds: 12, Seed: seed,
+	})
+}
+
+// Figure1UyA is the a.nic.uy-A experiment: child 120 s vs parent 172800 s.
+func Figure1UyA(probes int, seed int64) *Report {
+	tb := NewTestbed(seed)
+	return runCentricity(tb, CentricityConfig{
+		ID: "Figure 1b", Title: "Resolver centricity for a.nic.uy A (child 120 s vs parent 172800 s)",
+		Name: dnswire.NewName("a.nic.uy"), Type: dnswire.TypeA,
+		ParentTTL: 172800, ChildTTL: 120,
+		Probes: probes, Rounds: 18, Seed: seed,
+	})
+}
+
+// Figure2GoogleCo is the SLD experiment (§3.3): google.co NS, child 345600
+// vs parent 900 — here "child-centric" answers are the ones *above* the
+// parent TTL, and Google-style caps surface at 21599 s.
+func Figure2GoogleCo(probes int, seed int64) *Report {
+	tb := NewTestbed(seed)
+	fleet := tb.Fleet(probes, nil, seed)
+	resps := fleet.Run(tb.Clock, atlas.Schedule{
+		Name: dnswire.NewName("google.co"), Type: dnswire.TypeNS,
+		Interval: 600 * time.Second, Rounds: 6, Jitter: true,
+	})
+
+	ttls := stats.NewSample()
+	valid := 0
+	overParent, exactParent, capped := 0, 0, 0
+	for _, r := range resps {
+		if !r.Valid() || r.TTL == 0 {
+			continue
+		}
+		valid++
+		ttls.Add(float64(r.TTL))
+		switch {
+		case r.TTL == 21599:
+			capped++
+			overParent++
+		case r.TTL > 900:
+			overParent++
+		case r.TTL == 900:
+			exactParent++
+		}
+	}
+	fig := stats.RenderCDF("Figure 2: answered TTLs for google.co NS (parent 900 s, child 345600 s)",
+		"TTL (s)", map[string]*stats.Sample{"observed TTL": ttls}, 64, true)
+	rep := &Report{
+		ID:    "Figure 2",
+		Title: "SLD centricity: google.co NS answers",
+		Text:  fig,
+		Metrics: map[string]float64{
+			"frac_over_parent":  frac(overParent, valid),
+			"frac_capped_21599": frac(capped, valid),
+			"frac_exact_parent": frac(exactParent, valid),
+			"valid_responses":   float64(valid),
+		},
+	}
+	rep.AddSeries("observed_ttl_s", ttls)
+	return rep
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNlPassive(t *testing.T) {
+	r := NlPassive(NlPassiveConfig{Resolvers: 200, Days: 2, Seed: 4})
+	if r.Metric("rows_ingested") == 0 {
+		t.Fatal("observed servers saw no NS-host queries")
+	}
+	if r.Metric("groups") < 50 {
+		t.Fatalf("too few groups: %v", r.Metric("groups"))
+	}
+	// §3.4: ≈52 % of groups send more than one query over two days.
+	f := r.Metric("frac_multi_query")
+	if f < 0.3 || f > 0.75 {
+		t.Errorf("multi-query fraction = %.3f, want ≈0.52", f)
+	}
+	// Some single-query groups belong to resolvers that are multi-query
+	// for other names (the paper's 14 %).
+	if r.Metric("frac_single_but_multi") <= 0 {
+		t.Errorf("no single-but-multi-elsewhere resolvers found")
+	}
+	// Figure 4's bumps: a solid share of minimum interarrivals sits near
+	// one-hour multiples (the 3600 s child TTL).
+	if r.Metric("bump_mass_hour_multiples") < 0.2 {
+		t.Errorf("bump mass at hour multiples = %.3f, want a visible bump",
+			r.Metric("bump_mass_hour_multiples"))
+	}
+	for _, want := range []string{"Figure 3", "Figure 4", "census"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHitRateVsTTL(t *testing.T) {
+	r := HitRateVsTTL(6000, 31)
+	// Monotone in TTL.
+	prev := -1.0
+	for _, ttl := range []int{10, 60, 1000, 86400} {
+		h := r.Metric(intKey("hit_rate_ttl_", ttl))
+		if h < prev {
+			t.Fatalf("hit rate decreased at TTL %d: %v < %v", ttl, h, prev)
+		}
+		prev = h
+	}
+	// Measured matches the analytical model within a few points.
+	for _, ttl := range []int{60, 300, 1000, 3600} {
+		got := r.Metric(intKey("hit_rate_ttl_", ttl))
+		want := r.Metric(intKey("model_ttl_", ttl))
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("TTL %d: measured %.3f vs model %.3f", ttl, got, want)
+		}
+	}
+	// The Jung et al. observation: 1000 s captures most of the benefit.
+	if ratio := r.Metric("hit_rate_1000_over_86400"); ratio < 0.75 {
+		t.Errorf("hit rate at 1000s / 86400s = %.3f, want ≥0.75", ratio)
+	}
+}
+
+func intKey(prefix string, v int) string {
+	return prefix + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestOutageSweep(t *testing.T) {
+	r := OutageSweep(60, 17)
+	// Monotone: longer TTLs survive the outage better.
+	prev := -1.0
+	for _, ttl := range []string{"60", "600", "1800", "3600", "7200"} {
+		a := r.Metric("avail_ttl_" + ttl)
+		if a < prev-0.05 {
+			t.Errorf("availability dropped at TTL %s: %.2f < %.2f", ttl, a, prev)
+		}
+		prev = a
+	}
+	// A 60 s TTL is useless against a 1 h outage; 7200 s rides it out.
+	if r.Metric("avail_ttl_60") > 0.2 {
+		t.Errorf("TTL 60 availability = %.2f, want ≈0", r.Metric("avail_ttl_60"))
+	}
+	if r.Metric("avail_ttl_7200") < 0.7 {
+		t.Errorf("TTL 7200 availability = %.2f, want high", r.Metric("avail_ttl_7200"))
+	}
+	// Serve-stale rescues even short TTLs.
+	if r.Metric("avail_stale_ttl_60") < 0.9 {
+		t.Errorf("serve-stale at TTL 60 = %.2f, want ≈1", r.Metric("avail_stale_ttl_60"))
+	}
+}

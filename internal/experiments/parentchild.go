@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dnsttl/internal/crawler"
+	"dnsttl/internal/stats"
+	"dnsttl/internal/zonegen"
+)
+
+// ParentChildComparison carries out the "full comparison of parent and
+// child" TTLs the paper declares as future work (§5.1): per list, how many
+// children set their NS TTL below, at, or above the registry's delegation
+// TTL, and the distribution of child/parent ratios. The paper's one data
+// point — "about 40 % of .nl children have shorter TTLs" than the
+// registry's hour — anchors the .nl column.
+func ParentChildComparison(results map[zonegen.List]*crawler.Result) *Report {
+	tbl := &stats.Table{
+		Title:  "Parent vs child NS TTLs (domains with both sides observed)",
+		Header: []string{"", "Alexa", "Majestic", "Umbre.", ".nl", "Root"},
+	}
+	row := func(name string, f func(*crawler.Result) string) {
+		cells := []string{name}
+		for _, l := range listOrder {
+			cells = append(cells, f(results[l]))
+		}
+		tbl.AddRow(cells...)
+	}
+	compared := func(r *crawler.Result) int { return r.ChildShorter + r.ChildEqual + r.ChildLonger }
+	row("compared", func(r *crawler.Result) string { return stats.FormatCount(compared(r)) })
+	row("child shorter", func(r *crawler.Result) string {
+		return fmt.Sprintf("%s (%.0f%%)", stats.FormatCount(r.ChildShorter), 100*frac(r.ChildShorter, compared(r)))
+	})
+	row("child equal", func(r *crawler.Result) string {
+		return fmt.Sprintf("%s (%.0f%%)", stats.FormatCount(r.ChildEqual), 100*frac(r.ChildEqual, compared(r)))
+	})
+	row("child longer", func(r *crawler.Result) string {
+		return fmt.Sprintf("%s (%.0f%%)", stats.FormatCount(r.ChildLonger), 100*frac(r.ChildLonger, compared(r)))
+	})
+	row("median child/parent", func(r *crawler.Result) string {
+		if r.ParentChildRatios.Len() == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", r.ParentChildRatios.Median())
+	})
+
+	m := map[string]float64{}
+	for _, l := range listOrder {
+		r := results[l]
+		m["frac_child_shorter_"+string(l)] = frac(r.ChildShorter, compared(r))
+		m["frac_child_equal_"+string(l)] = frac(r.ChildEqual, compared(r))
+		// The paper's .nl anchor counts children at or below the
+		// registry's hour ("about 40 % ... have shorter TTLs").
+		m["frac_child_le_parent_"+string(l)] = frac(r.ChildShorter+r.ChildEqual, compared(r))
+		if r.ParentChildRatios.Len() > 0 {
+			m["median_ratio_"+string(l)] = r.ParentChildRatios.Median()
+		}
+	}
+
+	fig := ""
+	series := map[string]*stats.Sample{}
+	for _, l := range listOrder {
+		if results[l].ParentChildRatios.Len() > 0 {
+			series[string(l)] = results[l].ParentChildRatios
+		}
+	}
+	fig = stats.RenderCDF("Child/parent NS TTL ratio per list (1.0 = aligned)",
+		"ratio", series, 64, true)
+
+	return &Report{
+		ID:      "Parent vs child",
+		Title:   "The paper's future work: full parent/child TTL comparison",
+		Text:    tbl.String() + "\n" + fig,
+		Metrics: m,
+	}
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"testing"
+
+	"dnsttl/internal/zonegen"
+)
+
+func TestParentChildComparison(t *testing.T) {
+	_, results := CrawlWorld(0.05, 42)
+	r := ParentChildComparison(results)
+
+	// The paper's anchor: ≈40 % of .nl children carry NS TTLs shorter
+	// than the registry's 3600 s (here "shorter" ≈ CDF below 3600, which
+	// excludes the many children sitting exactly at an hour).
+	nlBelow := r.Metric("frac_child_shorter_nl")
+	if nlBelow < 0.05 || nlBelow > 0.45 {
+		t.Errorf(".nl child-shorter fraction = %.3f, want a visible minority", nlBelow)
+	}
+	// .com-style registries pin delegations at 2 days, so nearly every
+	// child is shorter there.
+	for _, l := range []zonegen.List{zonegen.Alexa, zonegen.Majestic} {
+		f := r.Metric("frac_child_shorter_" + string(l))
+		if f < 0.85 {
+			t.Errorf("%s child-shorter fraction = %.3f, want ≈1 (parent fixed at 172800)", l, f)
+		}
+		if ratio := r.Metric("median_ratio_" + string(l)); ratio >= 1 {
+			t.Errorf("%s median child/parent ratio = %.3f, want <1", l, ratio)
+		}
+	}
+	// The root list's children (TLD operators) often run long TTLs, so a
+	// solid share is at or near the 2-day delegation value.
+	rootEqualOrLonger := 1 - r.Metric("frac_child_shorter_root")
+	if rootEqualOrLonger < 0.2 {
+		t.Errorf("root children at/above parent TTL = %.3f, want a visible share", rootEqualOrLonger)
+	}
+}
+
+func TestParentChildNlAnchor(t *testing.T) {
+	_, results := CrawlWorld(0.1, 7)
+	r := ParentChildComparison(results)
+	// ≈40 % of .nl children at or below the registry's 3600 s.
+	f := r.Metric("frac_child_le_parent_nl")
+	if f < 0.25 || f > 0.55 {
+		t.Errorf(".nl children ≤ parent TTL = %.3f, want ≈0.40", f)
+	}
+}

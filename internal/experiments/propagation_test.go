@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestPropagationSweep(t *testing.T) {
+	r := PropagationSweep(50, 19)
+	// Propagation lag grows with TTL and is on the order of the TTL.
+	l60 := r.Metric("lag_min_ttl_60")
+	l600 := r.Metric("lag_min_ttl_600")
+	l3600 := r.Metric("lag_min_ttl_3600")
+	if !(l60 <= l600 && l600 <= l3600) {
+		t.Errorf("lag not monotone: %v %v %v", l60, l600, l3600)
+	}
+	if l60 > 4 {
+		t.Errorf("TTL 60: lag = %v min, want ≈1-2", l60)
+	}
+	if l600 < 5 || l600 > 15 {
+		t.Errorf("TTL 600: lag = %v min, want ≈10", l600)
+	}
+	if l3600 < 45 {
+		t.Errorf("TTL 3600: lag = %v min, want ≈60", l3600)
+	}
+	// Parent-centric and sticky stragglers may remain; the bulk moved.
+	if r.Metric("tail_old_ttl_600") > 0.1 {
+		t.Errorf("old-share tail at 75 min = %v", r.Metric("tail_old_ttl_600"))
+	}
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dnsttl/internal/stats"
+)
+
+func TestReportCSVAndJSON(t *testing.T) {
+	r := &Report{ID: "Figure X", Title: "test", Metrics: map[string]float64{"a": 1}}
+	r.AddSeries("short", stats.NewSample(1, 2, 2, 4))
+	r.AddSeries("long", stats.NewSample(10, 20))
+	r.AddSeries("empty", stats.NewSample()) // ignored
+
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + 3 distinct values of "short" + 2 of "long".
+	if len(lines) != 1+3+2 {
+		t.Fatalf("csv:\n%s", out)
+	}
+	if lines[0] != "series,x,cum_fraction" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "short,2,0.75") || !strings.Contains(out, "long,20,1") {
+		t.Errorf("csv content wrong:\n%s", out)
+	}
+	if _, ok := r.Series["empty"]; ok {
+		t.Errorf("empty series should not be attached")
+	}
+
+	// No series → no output.
+	var empty strings.Builder
+	if err := (&Report{ID: "t"}).WriteCSV(&empty); err != nil || empty.Len() != 0 {
+		t.Errorf("series-less report wrote %q", empty.String())
+	}
+
+	// JSON carries id/metrics/text.
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":"Figure X"`, `"a":1`} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("json missing %s: %s", want, blob)
+		}
+	}
+	if r.Metric("a") != 1 || r.Metric("missing") != 0 {
+		t.Errorf("Metric accessor wrong")
+	}
+	if !strings.Contains(r.String(), "Figure X") {
+		t.Errorf("String() = %q", r.String())
+	}
+}

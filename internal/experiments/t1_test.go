@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1(t *testing.T) {
+	tb := NewTestbed(1)
+	r := Table1(tb)
+	if r.Metric("parent_ns_ttl") != 172800 {
+		t.Errorf("parent NS TTL = %v, want 172800", r.Metric("parent_ns_ttl"))
+	}
+	if r.Metric("child_ns_ttl") != 3600 {
+		t.Errorf("child NS TTL = %v, want 3600", r.Metric("child_ns_ttl"))
+	}
+	if r.Metric("child_a_ttl") != 43200 {
+		t.Errorf("child A TTL = %v, want 43200", r.Metric("child_a_ttl"))
+	}
+	for _, want := range []string{"a.root-servers.net", "a.nic.cl", "172800", "3600*", "43200*"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+func TestFigure1UyNS(t *testing.T) {
+	r := Figure1UyNS(250, 1)
+	// Paper: ~90 % of answers carry the child TTL; ~10 % parent-side;
+	// ~2.9 % at the full 172800.
+	if f := r.Metric("frac_child_centric"); f < 0.8 || f > 0.97 {
+		t.Errorf("child-centric fraction = %.3f, want ≈0.9", f)
+	}
+	if f := r.Metric("frac_parent_ttl"); f < 0.03 || f > 0.2 {
+		t.Errorf("parent fraction = %.3f, want ≈0.1", f)
+	}
+	if f := r.Metric("frac_full_parent"); f <= 0 || f > 0.1 {
+		t.Errorf("full-parent fraction = %.3f, want ≈0.029", f)
+	}
+	if r.Metric("frac_over_parent") > 0.001 {
+		t.Errorf("answers above the parent TTL should be essentially absent")
+	}
+	if r.Metric("valid_responses") < 1000 {
+		t.Errorf("valid responses = %v", r.Metric("valid_responses"))
+	}
+}
+
+func TestFigure1UyA(t *testing.T) {
+	r := Figure1UyA(200, 2)
+	if f := r.Metric("frac_child_centric"); f < 0.8 {
+		t.Errorf("a.nic.uy-A child fraction = %.3f, want ≈0.88", f)
+	}
+}
+
+func TestFigure2GoogleCo(t *testing.T) {
+	r := Figure2GoogleCo(250, 3)
+	// Paper: ~70 % of answers above 900 (child-side), ~15 % capped at
+	// 21599, ~9 % exactly 900.
+	if f := r.Metric("frac_over_parent"); f < 0.6 || f > 0.98 {
+		t.Errorf("over-parent fraction = %.3f, want ≈0.7+", f)
+	}
+	if f := r.Metric("frac_capped_21599"); f < 0.05 || f > 0.3 {
+		t.Errorf("capped fraction = %.3f, want ≈0.15", f)
+	}
+	if f := r.Metric("frac_exact_parent"); f <= 0 || f > 0.25 {
+		t.Errorf("exact-parent fraction = %.3f, want ≈0.09", f)
+	}
+}

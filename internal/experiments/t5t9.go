@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dnsttl/internal/crawler"
+	"dnsttl/internal/dmap"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/simnet"
+	"dnsttl/internal/stats"
+	"dnsttl/internal/zonegen"
+)
+
+// CrawlWorld builds the synthetic Internet and crawls all five lists once;
+// the result feeds Tables 5, 8 and 9 and Figure 9.
+func CrawlWorld(scale float64, seed int64) (*zonegen.World, map[zonegen.List]*crawler.Result) {
+	clock := simnet.NewVirtualClock()
+	net := simnet.NewNetwork(seed)
+	w := zonegen.Build(zonegen.Config{Seed: seed, Scale: scale}, net, clock)
+	return w, crawler.New(w).CrawlAll()
+}
+
+// listOrder is the paper's column order.
+var listOrder = []zonegen.List{zonegen.Alexa, zonegen.Majestic, zonegen.Umbrella, zonegen.NL, zonegen.Root}
+
+// Table5 renders the dataset/record-count table.
+func Table5(results map[zonegen.List]*crawler.Result) *Report {
+	tbl := &stats.Table{Title: "Table 5: datasets and RR counts (child authoritative)",
+		Header: []string{"", "Alexa", "Majestic", "Umbre.", ".nl", "Root"}}
+	row := func(name string, f func(*crawler.Result) string) {
+		cells := []string{name}
+		for _, l := range listOrder {
+			cells = append(cells, f(results[l]))
+		}
+		tbl.AddRow(cells...)
+	}
+	row("domains", func(r *crawler.Result) string { return stats.FormatCount(r.Domains) })
+	row("responsive", func(r *crawler.Result) string { return stats.FormatCount(r.Responsive) })
+	row("discarded", func(r *crawler.Result) string { return stats.FormatCount(r.Discarded) })
+	row("ratio", func(r *crawler.Result) string { return fmt.Sprintf("%.2f", r.ResponsiveRatio()) })
+	for _, t := range crawler.CrawledTypes {
+		row(t.String(), func(r *crawler.Result) string { return stats.FormatCount(r.Types[t].Count) })
+		row("  unique", func(r *crawler.Result) string { return stats.FormatCount(r.Types[t].Unique) })
+		row("  ratio", func(r *crawler.Result) string {
+			if r.Types[t].Unique == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.2f", r.Types[t].Ratio())
+		})
+	}
+	m := map[string]float64{}
+	for _, l := range listOrder {
+		m["responsive_ratio_"+string(l)] = results[l].ResponsiveRatio()
+		m["ns_unique_ratio_"+string(l)] = results[l].Types[dnswire.TypeNS].Ratio()
+		m["a_unique_ratio_"+string(l)] = results[l].Types[dnswire.TypeA].Ratio()
+	}
+	return &Report{ID: "Table 5", Title: "Crawl datasets and record counts", Text: tbl.String(), Metrics: m}
+}
+
+// Figure9 renders the per-type TTL CDFs for each list.
+func Figure9(results map[zonegen.List]*crawler.Result) *Report {
+	text := ""
+	m := map[string]float64{}
+	figSeries := map[string]*stats.Sample{}
+	for _, t := range []dnswire.Type{dnswire.TypeNS, dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeMX, dnswire.TypeDNSKEY} {
+		series := map[string]*stats.Sample{}
+		for _, l := range listOrder {
+			ts := results[l].Types[t]
+			if ts != nil && ts.TTLs.Len() > 0 {
+				series[string(l)] = ts.TTLs
+				m[fmt.Sprintf("median_%s_%s", t, l)] = ts.TTLs.Median()
+			}
+		}
+		text += stats.RenderCDF(fmt.Sprintf("Figure 9 (%s): TTL CDF per list", t), "TTL (s)", series, 64, true) + "\n"
+		for label, sample := range series {
+			figSeries[fmt.Sprintf("%s_%s", t, label)] = sample
+		}
+	}
+	// The headline shapes.
+	if s := results[zonegen.Root].Types[dnswire.TypeNS].TTLs; s.Len() > 0 {
+		m["root_ns_frac_ge_1day"] = 1 - s.FractionBelow(86400)
+	}
+	if s := results[zonegen.Umbrella].Types[dnswire.TypeNS].TTLs; s.Len() > 0 {
+		m["umbrella_ns_frac_le_60s"] = s.FractionAtMost(60)
+	}
+	rep := &Report{ID: "Figure 9", Title: "TTL distributions per record type and list", Text: text, Metrics: m}
+	for name, sample := range figSeries {
+		rep.AddSeries(name, sample)
+	}
+	return rep
+}
+
+// Table8 renders the zero-TTL census.
+func Table8(results map[zonegen.List]*crawler.Result) *Report {
+	tbl := &stats.Table{Title: "Table 8: domains with TTL=0, per record type",
+		Header: []string{"", "Alexa", "Majestic", "Umbrella", ".nl", "Root"}}
+	m := map[string]float64{}
+	total := map[zonegen.List]int{}
+	for _, t := range crawler.CrawledTypes {
+		cells := []string{t.String()}
+		for _, l := range listOrder {
+			n := results[l].Types[t].ZeroTTLDomains
+			total[l] += n
+			cells = append(cells, stats.FormatCount(n))
+		}
+		tbl.AddRow(cells...)
+	}
+	cells := []string{"total"}
+	for _, l := range listOrder {
+		cells = append(cells, stats.FormatCount(total[l]))
+		m["zero_ttl_"+string(l)] = float64(total[l])
+	}
+	tbl.AddRow(cells...)
+	return &Report{ID: "Table 8", Title: "Zero-TTL domains undermine caching", Text: tbl.String(), Metrics: m}
+}
+
+// Table9 renders the bailiwick census.
+func Table9(results map[zonegen.List]*crawler.Result) *Report {
+	tbl := &stats.Table{Title: "Table 9: bailiwick distribution in the wild",
+		Header: []string{"", "Alexa", "Majestic", "Umbre.", ".nl", "Root"}}
+	row := func(name string, f func(*crawler.Result) string) {
+		cells := []string{name}
+		for _, l := range listOrder {
+			cells = append(cells, f(results[l]))
+		}
+		tbl.AddRow(cells...)
+	}
+	row("responsive", func(r *crawler.Result) string { return stats.FormatCount(r.Responsive) })
+	row("CNAME", func(r *crawler.Result) string { return stats.FormatCount(r.CNAMEAnswers) })
+	row("SOA", func(r *crawler.Result) string { return stats.FormatCount(r.SOAAnswers) })
+	row("respond NS", func(r *crawler.Result) string { return stats.FormatCount(r.RespondNS) })
+	row("out only", func(r *crawler.Result) string { return stats.FormatCount(r.OutOnly) })
+	row("percent out", func(r *crawler.Result) string { return fmt.Sprintf("%.1f", r.PercentOutOnly()) })
+	row("in only", func(r *crawler.Result) string { return stats.FormatCount(r.InOnly) })
+	row("mixed", func(r *crawler.Result) string { return stats.FormatCount(r.Mixed) })
+	m := map[string]float64{}
+	for _, l := range listOrder {
+		m["percent_out_"+string(l)] = results[l].PercentOutOnly()
+	}
+	return &Report{ID: "Table 9", Title: "Bailiwick configuration in the wild", Text: tbl.String(), Metrics: m}
+}
+
+// Tables6And7 runs the DMap survey over the generated .nl population.
+func Tables6And7(w *zonegen.World, seed int64) *Report {
+	s := dmap.Run(w, seed)
+	t6 := &stats.Table{Title: "Table 6: .nl domains classified by content",
+		Header: []string{"category", "#", "share"}}
+	for _, c := range []zonegen.ContentClass{zonegen.Placeholder, zonegen.Ecommerce, zonegen.Parking} {
+		t6.AddRow(c.String(), stats.FormatCount(s.Counts[c]),
+			fmt.Sprintf("%.1f%%", 100*frac(s.Counts[c], s.Total)))
+	}
+	t6.AddRow("total", stats.FormatCount(s.Total), "")
+
+	t7 := &stats.Table{Title: "Table 7: median TTLs (hours) per content class",
+		Header: []string{"", "E-commerce", "Parking", "Placeholder"}}
+	m := map[string]float64{}
+	for _, t := range []dnswire.Type{dnswire.TypeNS, dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeMX, dnswire.TypeDNSKEY} {
+		cells := []string{t.String()}
+		for _, c := range []zonegen.ContentClass{zonegen.Ecommerce, zonegen.Parking, zonegen.Placeholder} {
+			v := s.MedianTTLHours[c][t]
+			cells = append(cells, fmt.Sprintf("%.1f", v))
+			m[fmt.Sprintf("median_h_%s_%s", c, t)] = v
+		}
+		t7.AddRow(cells...)
+	}
+	m["classified_total"] = float64(s.Total)
+	m["share_placeholder"] = frac(s.Counts[zonegen.Placeholder], s.Total)
+	return &Report{ID: "Tables 6-7", Title: "Content classes and their TTL choices (.nl)",
+		Text: t6.String() + "\n" + t7.String(), Metrics: m}
+}

@@ -1,0 +1,43 @@
+package resolver
+
+import (
+	"testing"
+	"time"
+
+	"dnsttl/internal/dnswire"
+)
+
+// BenchmarkResolveCacheHit measures a warm lookup through the resolver.
+func BenchmarkResolveCacheHit(b *testing.B) {
+	tn := newTestNet(&testing.T{})
+	r := tn.resolver(DefaultPolicy(), 1)
+	name := dnswire.NewName("www.cachetest.net")
+	if _, err := r.Resolve(name, dnswire.TypeA); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Resolve(name, dnswire.TypeA)
+		if err != nil || !res.CacheHit {
+			b.Fatal("expected cache hit")
+		}
+	}
+}
+
+// BenchmarkResolveColdWalk measures a full root-to-leaf iteration (the
+// cache expires between iterations).
+func BenchmarkResolveColdWalk(b *testing.B) {
+	tn := newTestNet(&testing.T{})
+	r := tn.resolver(DefaultPolicy(), 1)
+	name := dnswire.NewName("www.cachetest.net")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Cache.Flush()
+		if _, err := r.Resolve(name, dnswire.TypeA); err != nil {
+			b.Fatal(err)
+		}
+		tn.clock.Advance(time.Second)
+	}
+}

@@ -1,0 +1,204 @@
+package resolver
+
+import (
+	"math/rand"
+	"net/netip"
+	"sync"
+
+	"dnsttl/internal/cache"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/simnet"
+)
+
+// Lookuper is anything that can answer a client resolution — a full
+// iterative Resolver or a Forwarder in front of one. Vantage points hold a
+// Lookuper, matching the paper's observation (§4.4) that clients sit behind
+// "multiple levels of resolvers".
+type Lookuper interface {
+	Resolve(name dnswire.Name, qtype dnswire.Type) (*Result, error)
+}
+
+// Handler adapts a Resolver into a simnet.Handler so recursives can be
+// attached to the network and queried by forwarders over the wire, exactly
+// like every other hop.
+type Handler struct {
+	R *Resolver
+}
+
+// ServeDNS answers one wire-format client query through the resolver.
+func (h Handler) ServeDNS(wire []byte, from netip.Addr) []byte {
+	q, err := dnswire.Decode(wire)
+	if err != nil || len(q.Question) == 0 {
+		return nil
+	}
+	res, err := h.R.Resolve(q.Q().Name, q.Q().Type)
+	if err != nil || res == nil {
+		resp := q.Reply()
+		resp.Header.RCode = dnswire.RCodeServFail
+		resp.Header.RA = true
+		out, _ := dnswire.Encode(resp)
+		return out
+	}
+	msg := res.Msg
+	msg.Header.ID = q.Header.ID
+	msg.Header.RD = q.Header.RD
+	out, err := dnswire.Encode(msg)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Forwarder is the other resolver species the paper's infrastructure
+// analysis finds (§4.4): it does no iteration itself, relaying queries
+// (RD=1) to one of several full recursives and caching what comes back.
+// With more than one upstream it models a resolver farm's frontend — each
+// query may land on a different backend cache, producing exactly the
+// fragmentation the paper observed in OpenDNS's mixed answers.
+type Forwarder struct {
+	// Addr is the forwarder's own address.
+	Addr netip.Addr
+	// Upstreams are the recursive backends, queried one per resolution.
+	Upstreams []netip.Addr
+	// Net carries the queries; Clock decays the local cache.
+	Net   simnet.Exchanger
+	Clock simnet.Clock
+	// Cache is the forwarder's own (usually small) cache layer.
+	Cache *cache.Cache
+	// Passthrough disables the local cache: the forwarder becomes a pure
+	// load-balancing frontend, as public-resolver front doors are.
+	Passthrough bool
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	nextID uint16
+}
+
+// NewForwarder builds a forwarder with its own cache.
+func NewForwarder(addr netip.Addr, upstreams []netip.Addr, net simnet.Exchanger, clock simnet.Clock, seed int64) *Forwarder {
+	if clock == nil {
+		clock = simnet.WallClock{}
+	}
+	return &Forwarder{
+		Addr:      addr,
+		Upstreams: upstreams,
+		Net:       net,
+		Clock:     clock,
+		Cache:     cache.New(clock, cache.Config{}),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Resolve implements Lookuper: local cache, then one upstream.
+func (f *Forwarder) Resolve(name dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	res := &Result{Msg: &dnswire.Message{
+		Header:   dnswire.Header{QR: true, RA: true},
+		Question: []dnswire.Question{{Name: name, Type: qtype, Class: dnswire.ClassIN}},
+	}}
+	if e, rem, ok := f.cacheGet(name, qtype); ok {
+		res.CacheHit = true
+		switch e.Negative {
+		case cache.NegNXDomain:
+			res.Msg.Header.RCode = dnswire.RCodeNXDomain
+		case cache.NegNoData:
+		default:
+			for _, rr := range e.RRs {
+				rr.TTL = rem
+				res.Msg.AddAnswer(rr)
+			}
+		}
+		if len(res.Msg.Answer) > 0 {
+			res.AnswerTTL = res.Msg.Answer[0].TTL
+		}
+		return res, nil
+	}
+	if len(f.Upstreams) == 0 {
+		res.Msg.Header.RCode = dnswire.RCodeServFail
+		return res, nil
+	}
+
+	f.mu.Lock()
+	upstream := f.Upstreams[f.rng.Intn(len(f.Upstreams))]
+	f.nextID++
+	id := f.nextID
+	f.mu.Unlock()
+
+	q := dnswire.NewQuery(id, name, qtype)
+	wire, err := dnswire.Encode(q)
+	if err != nil {
+		return nil, err
+	}
+	res.Queries++
+	respWire, rtt, err := f.Net.Exchange(f.Addr, upstream, wire)
+	res.Latency += rtt
+	if err != nil {
+		res.Timeouts++
+		res.Msg.Header.RCode = dnswire.RCodeServFail
+		return res, nil
+	}
+	resp, err := dnswire.Decode(respWire)
+	if err != nil || resp.Header.ID != id {
+		res.Msg.Header.RCode = dnswire.RCodeServFail
+		return res, nil
+	}
+	res.Msg.Header.RCode = resp.Header.RCode
+	res.FinalServer = upstream
+	now := f.Clock.Now()
+	if f.Passthrough {
+		if len(resp.Answer) > 0 {
+			res.Msg.Answer = resp.Answer
+			res.AnswerTTL = resp.Answer[0].TTL
+		}
+		return res, nil
+	}
+	switch {
+	case resp.Header.RCode == dnswire.RCodeNXDomain:
+		f.Cache.Put(cache.Entry{
+			Key: cache.Key{Name: name, Type: qtype}, TTL: negTTLFrom(resp),
+			Stored: now, Cred: cache.CredAnswerNonAuth, Negative: cache.NegNXDomain,
+		})
+	case resp.Header.RCode != dnswire.RCodeNoError:
+		// Upstream failure: nothing cacheable.
+	case len(resp.Answer) > 0:
+		res.Msg.Answer = resp.Answer
+		res.AnswerTTL = resp.Answer[0].TTL
+		for _, t := range answerableTypes {
+			for owner, rrs := range groupRRs(resp.Answer, t) {
+				f.Cache.Put(cache.Entry{
+					Key: cache.Key{Name: owner, Type: t}, RRs: rrs, TTL: rrs[0].TTL,
+					Stored: now, Cred: cache.CredAnswerNonAuth, Server: upstream.String(),
+				})
+			}
+		}
+	default:
+		f.Cache.Put(cache.Entry{
+			Key: cache.Key{Name: name, Type: qtype}, TTL: negTTLFrom(resp),
+			Stored: now, Cred: cache.CredAnswerNonAuth, Negative: cache.NegNoData,
+		})
+	}
+	return res, nil
+}
+
+func (f *Forwarder) cacheGet(name dnswire.Name, qtype dnswire.Type) (*cache.Entry, uint32, bool) {
+	if f.Passthrough {
+		return nil, 0, false
+	}
+	return f.Cache.Get(name, qtype)
+}
+
+func negTTLFrom(resp *dnswire.Message) uint32 {
+	for _, rr := range resp.Authority {
+		if soa, ok := rr.Data.(dnswire.SOA); ok {
+			if rr.TTL < soa.Minimum {
+				return rr.TTL
+			}
+			return soa.Minimum
+		}
+	}
+	return 60
+}
+
+var (
+	_ Lookuper = (*Resolver)(nil)
+	_ Lookuper = (*Forwarder)(nil)
+)

@@ -1,0 +1,116 @@
+// Package resolver implements an iterative (recursive-resolving) DNS server
+// over the cache and simnet substrates. One implementation with policy
+// knobs reproduces the behavioral families the paper observes in the wild:
+// child- vs parent-centric TTL preference (§3), coupled vs independent
+// NS/A-record lifetimes for in-bailiwick servers (§4.2–4.3), sticky
+// resolvers (§4.4), TTL capping (§3.3), RFC 7706 local-root mirroring, and
+// serve-stale.
+package resolver
+
+import "time"
+
+// Centricity says which zone's TTL a resolver effectively honors for
+// records that are duplicated at a delegation (NS sets and glue addresses).
+type Centricity uint8
+
+const (
+	// ChildCentric resolvers follow RFC 2181 §5.4.1: they treat parent-side
+	// referral data as non-authoritative, so explicit queries for NS or
+	// nameserver addresses are forwarded to the child zone and the child's
+	// TTLs govern the cache. Most deployed resolvers behave this way
+	// (~90 % of .uy queries in §3.2).
+	ChildCentric Centricity = iota
+	// ParentCentric resolvers answer from referral/glue data directly and
+	// never ask the child for records the parent already supplied, so the
+	// parent's (often much longer) TTLs govern. OpenDNS exhibited this in
+	// §4.4.
+	ParentCentric
+)
+
+func (c Centricity) String() string {
+	if c == ParentCentric {
+		return "parent-centric"
+	}
+	return "child-centric"
+}
+
+// Policy is the behavioral configuration of one resolver.
+type Policy struct {
+	// Centricity selects parent- vs child-centric TTL preference.
+	Centricity Centricity
+	// RefreshGlueOnReferral controls what happens when a re-fetched
+	// referral carries glue for an address that is still fresh in cache.
+	// True (the common behavior, §4.2) replaces the cached address, which
+	// couples the effective A lifetime to the NS TTL for in-bailiwick
+	// servers; false keeps the cached address until its own TTL expires.
+	RefreshGlueOnReferral bool
+	// TTLCap bounds the TTLs this resolver honors; 0 means no cap. 21599
+	// reproduces the Google Public DNS behavior of §3.3; BIND's default
+	// is one week.
+	TTLCap uint32
+	// CapAtServe selects where the cap applies. False (BIND-style)
+	// truncates the stored TTL, so an over-cap record expires after
+	// TTLCap seconds. True (Google-style) stores the full TTL and clamps
+	// only the *reported* value — which is why §3.3 sees a steady stream
+	// of answers at exactly 21599 s: the remaining TTL stays above the
+	// cap for days.
+	CapAtServe bool
+	// TTLFloor raises tiny TTLs; 0 means none.
+	TTLFloor uint32
+	// RevalidateGlue makes the resolver fetch an authoritative copy of a
+	// nameserver address it only knows from glue (BIND-style credibility
+	// upgrading). These explicit NS-host address queries are what the .nl
+	// authoritatives observe in §3.4 — and their spacing tracks the child
+	// TTL, producing Figure 4's bumps at one-hour multiples.
+	RevalidateGlue bool
+	// Sticky resolvers keep using the first server address they learned
+	// for a zone, ignoring TTL expiry for server selection (§4.4).
+	Sticky bool
+	// LocalRoot mirrors the root zone locally (RFC 7706): referrals for
+	// TLDs are answered from the mirror at zero network cost, and carry
+	// the parent's TTLs.
+	LocalRoot bool
+	// ServeStale answers from expired cache entries when all
+	// authoritative servers for a zone fail (RFC 8767).
+	ServeStale bool
+	// Validate enables DNSSEC validation: answers from signed zones must
+	// verify against the zone's DNSKEY or the resolution fails, and
+	// answers are never synthesized from unsigned parent-side data — a
+	// validating resolver is structurally child-centric (§2, §6.3).
+	Validate bool
+	// Prefetch refreshes popular entries shortly before expiry instead of
+	// letting them lapse (the Pappas et al. proposal discussed in §7).
+	Prefetch bool
+	// PrefetchThreshold is the remaining TTL, in seconds, below which a
+	// cache hit triggers a refresh. Zero with Prefetch set means 10 s.
+	PrefetchThreshold uint32
+	// Timeout for one upstream exchange; zero means 5 s.
+	Timeout time.Duration
+	// MaxRetries is how many distinct servers are tried per step before
+	// giving up; zero means 3.
+	MaxRetries int
+}
+
+func (p Policy) prefetchThreshold() uint32 {
+	if p.PrefetchThreshold == 0 {
+		return 10
+	}
+	return p.PrefetchThreshold
+}
+
+func (p Policy) maxRetries() int {
+	if p.MaxRetries <= 0 {
+		return 3
+	}
+	return p.MaxRetries
+}
+
+// DefaultPolicy is a mainstream child-centric resolver: BIND-like one-week
+// cap, coupled glue refresh, no stickiness.
+func DefaultPolicy() Policy {
+	return Policy{
+		Centricity:            ChildCentric,
+		RefreshGlueOnReferral: true,
+		TTLCap:                604800,
+	}
+}

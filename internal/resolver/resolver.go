@@ -1,0 +1,386 @@
+package resolver
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"dnsttl/internal/cache"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/simnet"
+	"dnsttl/internal/zone"
+)
+
+// Trace accounts for one client resolution: what it cost and where the
+// answer came from. Experiments read Traces to build the paper's latency
+// CDFs and server-switch timeseries.
+type Trace struct {
+	// CacheHit is true when the client answer required no upstream query.
+	CacheHit bool
+	// Stale is true when the answer was served past its TTL (RFC 8767).
+	Stale bool
+	// Latency is the summed upstream RTT the resolution cost the client.
+	Latency time.Duration
+	// Queries is the number of upstream exchanges attempted.
+	Queries int
+	// Timeouts is how many of those exchanges timed out.
+	Timeouts int
+	// FinalServer is the authoritative address that supplied the answer,
+	// or the zero Addr for cache hits.
+	FinalServer netip.Addr
+	// AnswerTTL is the TTL carried by the first answer record returned to
+	// the client (decayed, for cache hits) — the quantity measured by the
+	// paper's Figures 1 and 2.
+	AnswerTTL uint32
+	// Validated is true when DNSSEC validation succeeded for the answer.
+	Validated bool
+}
+
+// Result is a completed resolution.
+type Result struct {
+	Msg *dnswire.Message
+	Trace
+}
+
+// Resolver is an iterative caching resolver.
+type Resolver struct {
+	// Addr is the resolver's own address, used as the query source.
+	Addr netip.Addr
+	// Policy configures behavior; see Policy.
+	Policy Policy
+	// Net carries queries to servers.
+	Net simnet.Exchanger
+	// Clock drives TTL decay.
+	Clock simnet.Clock
+	// Cache may be shared between resolvers (a resolver farm behind one
+	// frontend, as in §4.4).
+	Cache *cache.Cache
+	// RootHints are the root server addresses.
+	RootHints []netip.Addr
+	// LocalRootZone is the RFC 7706 mirror used when Policy.LocalRoot is
+	// set.
+	LocalRootZone *zone.Zone
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	sticky map[dnswire.Name]netip.Addr
+	nextID uint16
+}
+
+// New builds a resolver. A nil cache gets a private one configured from the
+// policy's TTL cap/floor and serve-stale flag; a nil clock means wall time.
+func New(addr netip.Addr, pol Policy, net simnet.Exchanger, clock simnet.Clock, roots []netip.Addr, seed int64) *Resolver {
+	if clock == nil {
+		clock = simnet.WallClock{}
+	}
+	storageCap := pol.TTLCap
+	if pol.CapAtServe {
+		storageCap = 0 // full TTL in cache; clamp on the way out
+	}
+	c := cache.New(clock, cache.Config{
+		MaxTTL:     storageCap,
+		MinTTL:     pol.TTLFloor,
+		ServeStale: pol.ServeStale,
+	})
+	return &Resolver{
+		Addr:      addr,
+		Policy:    pol,
+		Net:       net,
+		Clock:     clock,
+		Cache:     c,
+		RootHints: roots,
+		rng:       rand.New(rand.NewSource(seed)),
+		sticky:    make(map[dnswire.Name]netip.Addr),
+	}
+}
+
+// maxDepth bounds subquery recursion (resolving NS-host addresses) and
+// CNAME chains.
+const maxDepth = 8
+
+// maxSteps bounds referral chasing per resolution.
+const maxSteps = 30
+
+// Resolve answers (name, qtype) for a client, from cache when possible and
+// by iterating from the roots otherwise.
+func (r *Resolver) Resolve(name dnswire.Name, qtype dnswire.Type) (*Result, error) {
+	res := &Result{Msg: &dnswire.Message{
+		Header:   dnswire.Header{QR: true, RA: true},
+		Question: []dnswire.Question{{Name: name, Type: qtype, Class: dnswire.ClassIN}},
+	}}
+	err := r.resolveInto(name, qtype, res, 0)
+	if err != nil {
+		res.Msg.Header.RCode = dnswire.RCodeServFail
+	}
+	if len(res.Msg.Answer) > 0 {
+		res.AnswerTTL = res.Msg.Answer[0].TTL
+	}
+	return res, nil
+}
+
+// resolveInto resolves (name, qtype), appending answers to res.Msg and
+// accounting into res.Trace. CNAME chains recurse with increased depth.
+func (r *Resolver) resolveInto(name dnswire.Name, qtype dnswire.Type, res *Result, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("resolver: depth limit at %s", name)
+	}
+
+	// 1. Cache.
+	if e, rem, ok := r.answerFromCache(name, qtype); ok {
+		if depth == 0 {
+			res.CacheHit = res.Queries == 0
+		}
+		r.applyCached(e, rem, name, qtype, res, depth)
+		if r.Policy.Prefetch && rem <= r.Policy.prefetchThreshold() && e.Negative == cache.NotNegative {
+			r.prefetch(name, qtype)
+		}
+		return nil
+	}
+
+	// 2. Iterate from the best known servers.
+	return r.iterate(name, qtype, res, depth)
+}
+
+// applyCached copies a cache entry into the client answer with decayed TTLs.
+func (r *Resolver) applyCached(e *cache.Entry, rem uint32, name dnswire.Name, qtype dnswire.Type, res *Result, depth int) {
+	switch e.Negative {
+	case cache.NegNXDomain:
+		res.Msg.Header.RCode = dnswire.RCodeNXDomain
+		return
+	case cache.NegNoData:
+		return
+	}
+	for _, rr := range e.RRs {
+		rr.TTL = r.clampTTL(rem)
+		res.Msg.AddAnswer(rr)
+	}
+	// Chase a cached CNAME.
+	if e.Key.Type == dnswire.TypeCNAME && qtype != dnswire.TypeCNAME && len(e.RRs) > 0 {
+		target := e.RRs[0].Data.(dnswire.CNAME).Target
+		_ = r.resolveInto(target, qtype, res, depth+1)
+	}
+}
+
+// answerFromCache checks whether cached data may answer the client
+// directly. Child-centric resolvers only answer from answer-grade data;
+// parent-centric resolvers also answer from referral NS sets and glue —
+// unless they validate, since parent-side data carries no signatures
+// (the §6.3 structural argument for child-centricity).
+func (r *Resolver) answerFromCache(name dnswire.Name, qtype dnswire.Type) (*cache.Entry, uint32, bool) {
+	minCred := cache.CredAnswerNonAuth
+	if r.Policy.Centricity == ParentCentric && !r.Policy.Validate {
+		minCred = cache.CredAdditional
+	}
+	if e, rem, ok := r.Cache.Get(name, qtype); ok && e.Cred >= minCred {
+		return e, rem, true
+	}
+	// A cached CNAME redirects any qtype (except CNAME itself).
+	if qtype != dnswire.TypeCNAME {
+		if e, rem, ok := r.Cache.Get(name, dnswire.TypeCNAME); ok && e.Cred >= minCred {
+			return e, rem, true
+		}
+	}
+	return nil, 0, false
+}
+
+// prefetch refreshes (name, qtype) without charging the client. Upstream
+// query counts still accrue at the authoritatives, which is the point of
+// the ablation: prefetch trades queries for latency.
+func (r *Resolver) prefetch(name dnswire.Name, qtype dnswire.Type) {
+	scratch := &Result{Msg: &dnswire.Message{}}
+	r.Cache.Remove(name, qtype)
+	_ = r.iterate(name, qtype, scratch, 0)
+}
+
+// iterate walks the delegation tree toward (name, qtype).
+func (r *Resolver) iterate(name dnswire.Name, qtype dnswire.Type, res *Result, depth int) error {
+	for step := 0; step < maxSteps; step++ {
+		zoneName, servers := r.bestServers(name, res, depth)
+
+		// RFC 7706: referrals for names at or below a TLD can be taken
+		// from the local root mirror without a query.
+		if r.Policy.LocalRoot && r.LocalRootZone != nil && zoneName.IsRoot() {
+			if done, err := r.localRootStep(name, qtype, res); done {
+				return err
+			}
+			// localRootStep cached a referral; go around.
+			continue
+		}
+
+		if len(servers) == 0 {
+			return r.fail(name, qtype, res, fmt.Errorf("resolver: no servers for %s", zoneName))
+		}
+		resp, server, err := r.exchangeAny(servers, name, qtype, res)
+		if err != nil {
+			return r.fail(name, qtype, res, err)
+		}
+		r.pinSticky(zoneName, server)
+
+		done, err := r.absorb(resp, server, zoneName, name, qtype, res, depth)
+		if done || err != nil {
+			return err
+		}
+	}
+	return r.fail(name, qtype, res, fmt.Errorf("resolver: referral chase exceeded %d steps", maxSteps))
+}
+
+// absorb caches a response's contents and decides what happens next.
+// done=true means the client answer (or error) is complete.
+func (r *Resolver) absorb(resp *dnswire.Message, server netip.Addr, zoneName, name dnswire.Name, qtype dnswire.Type, res *Result, depth int) (bool, error) {
+	now := r.Clock.Now()
+
+	switch {
+	case resp.Header.RCode == dnswire.RCodeNXDomain:
+		r.cacheNegative(resp, name, qtype, cache.NegNXDomain, now)
+		res.Msg.Header.RCode = dnswire.RCodeNXDomain
+		res.FinalServer = server
+		return true, nil
+
+	case resp.Header.RCode != dnswire.RCodeNoError:
+		return true, r.fail(name, qtype, res, fmt.Errorf("resolver: upstream rcode %s", resp.Header.RCode))
+
+	case len(resp.Answer) > 0:
+		r.cacheAnswerSections(resp, server, now)
+		res.FinalServer = server
+		// Copy matching answers (and any CNAME chain present). Client
+		// answers carry the TTLs the cache will honor — capped and
+		// floored — exactly as deployed resolvers report them.
+		var lastCNAME dnswire.Name
+		answered := false
+		for _, rr := range resp.Answer {
+			rr.TTL = r.clampTTL(rr.TTL)
+			if rr.Name == name && rr.Type == qtype {
+				res.Msg.AddAnswer(rr)
+				answered = true
+			} else if rr.Type == dnswire.TypeCNAME {
+				res.Msg.AddAnswer(rr)
+				lastCNAME = rr.Data.(dnswire.CNAME).Target
+				name = lastCNAME // chain may continue in this response
+			}
+		}
+		if !answered && lastCNAME != "" {
+			// Chase the alias.
+			return true, r.resolveInto(lastCNAME, qtype, res, depth+1)
+		}
+		if !answered {
+			return true, r.fail(name, qtype, res, fmt.Errorf("resolver: answer section did not match question"))
+		}
+		if r.Policy.Validate && resp.Header.AA && depth < maxDepth {
+			if err := r.validateAnswer(server, name, qtype, resp.AnswersFor(name, qtype), res, depth); err != nil {
+				return true, r.fail(name, qtype, res, err)
+			}
+			res.Msg.Header.AD = res.Validated
+		}
+		return true, nil
+
+	case resp.IsReferral():
+		child := r.cacheReferral(resp, now)
+		if child == "" || !name.IsSubdomainOf(child) {
+			return true, r.fail(name, qtype, res, fmt.Errorf("resolver: lame referral from %s", server))
+		}
+		if child == zoneName {
+			return true, r.fail(name, qtype, res, fmt.Errorf("resolver: referral loop at %s", child))
+		}
+		// Parent-centric resolvers can now answer NS/address questions
+		// straight from the referral data they just cached.
+		if e, rem, ok := r.answerFromCache(name, qtype); ok {
+			res.FinalServer = server
+			r.applyCached(e, rem, name, qtype, res, depth)
+			return true, nil
+		}
+		return false, nil
+
+	default:
+		// NODATA.
+		r.cacheNegative(resp, name, qtype, cache.NegNoData, now)
+		res.FinalServer = server
+		return true, nil
+	}
+}
+
+// fail is the terminal error path: serve stale if allowed, else SERVFAIL.
+func (r *Resolver) fail(name dnswire.Name, qtype dnswire.Type, res *Result, err error) error {
+	if r.Policy.ServeStale {
+		if e, rem, ok := r.Cache.GetStale(name, qtype); ok && e.Negative == cache.NotNegative {
+			res.Stale = true
+			for _, rr := range e.RRs {
+				rr.TTL = rem
+				res.Msg.AddAnswer(rr)
+			}
+			return nil
+		}
+	}
+	return err
+}
+
+// exchangeAny tries the candidate servers (sticky resolvers always lead
+// with their pinned choice) until one responds.
+func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dnswire.Type, res *Result) (*dnswire.Message, netip.Addr, error) {
+	order := r.serverOrder(servers)
+	tries := r.Policy.maxRetries()
+	if tries > len(order) {
+		tries = len(order)
+	}
+	var lastErr error
+	for i := 0; i < tries; i++ {
+		server := order[i]
+		q := dnswire.NewIterativeQuery(r.id(), name, qtype)
+		// Advertise EDNS so referrals with glue fit in one datagram.
+		q.AddAdditional(dnswire.RR{Name: dnswire.Root, Type: dnswire.TypeOPT,
+			Data: dnswire.OPT{UDPSize: dnswire.MaxEDNSSize}})
+		wire, err := dnswire.Encode(q)
+		if err != nil {
+			return nil, netip.Addr{}, err
+		}
+		res.Queries++
+		respWire, rtt, err := r.Net.Exchange(r.Addr, server, wire)
+		res.Latency += rtt
+		if err != nil {
+			res.Timeouts++
+			lastErr = err
+			continue
+		}
+		resp, err := dnswire.Decode(respWire)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Header.ID != q.Header.ID {
+			lastErr = fmt.Errorf("resolver: response ID mismatch")
+			continue
+		}
+		return resp, server, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("resolver: no servers answered for %s", name)
+	}
+	return nil, netip.Addr{}, lastErr
+}
+
+func (r *Resolver) serverOrder(servers []netip.Addr) []netip.Addr {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]netip.Addr(nil), servers...)
+	r.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// clampTTL applies the policy's cap and floor to a TTL reported to clients.
+func (r *Resolver) clampTTL(ttl uint32) uint32 {
+	if r.Policy.TTLCap > 0 && ttl > r.Policy.TTLCap {
+		ttl = r.Policy.TTLCap
+	}
+	if ttl < r.Policy.TTLFloor {
+		ttl = r.Policy.TTLFloor
+	}
+	return ttl
+}
+
+func (r *Resolver) id() uint16 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	return r.nextID
+}

@@ -1,0 +1,270 @@
+package resolver
+
+import (
+	"net/netip"
+	"time"
+
+	"dnsttl/internal/cache"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/zone"
+)
+
+// bestServers finds the deepest zone enclosing name whose nameserver
+// addresses the resolver can produce, and those addresses. It may issue
+// subqueries (charged to res) to resolve out-of-bailiwick nameserver names.
+func (r *Resolver) bestServers(name dnswire.Name, res *Result, depth int) (dnswire.Name, []netip.Addr) {
+	for z := name; ; z = z.Parent() {
+		if r.Policy.Sticky {
+			r.mu.Lock()
+			pinned, ok := r.sticky[z]
+			r.mu.Unlock()
+			if ok {
+				return z, []netip.Addr{pinned}
+			}
+		}
+		if e, _, ok := r.Cache.Get(z, dnswire.TypeNS); ok && e.Negative == cache.NotNegative {
+			if addrs := r.nsAddresses(z, e, res, depth); len(addrs) > 0 {
+				return z, addrs
+			}
+		}
+		if z.IsRoot() {
+			break
+		}
+	}
+	return dnswire.Root, append([]netip.Addr(nil), r.RootHints...)
+}
+
+// nsAddresses produces addresses for the NS hosts of zone z, using cached
+// addresses first and subqueries for out-of-bailiwick hosts without one.
+func (r *Resolver) nsAddresses(z dnswire.Name, nsSet *cache.Entry, res *Result, depth int) []netip.Addr {
+	var addrs []netip.Addr
+	var unresolved []dnswire.Name
+	for _, rr := range nsSet.RRs {
+		ns, ok := rr.Data.(dnswire.NS)
+		if !ok {
+			continue
+		}
+		if r.Policy.RevalidateGlue && depth == 0 {
+			// Upgrade glue-credibility addresses to authoritative data
+			// with an explicit query to the child (§3.4's traffic).
+			if e, _, ok := r.Cache.Get(ns.Host, dnswire.TypeA); ok &&
+				e.Negative == cache.NotNegative && e.Cred == cache.CredAdditional {
+				scratch := &Result{Msg: &dnswire.Message{}}
+				_ = r.resolveInto(ns.Host, dnswire.TypeA, scratch, depth+1)
+				res.Latency += scratch.Latency
+				res.Queries += scratch.Queries
+				res.Timeouts += scratch.Timeouts
+			}
+		}
+		if a := r.cachedAddress(ns.Host); a.IsValid() {
+			addrs = append(addrs, a)
+		} else if !ns.Host.IsSubdomainOf(z) {
+			// Out-of-bailiwick host: resolvable independently. An
+			// in-bailiwick host without glue is a dead end (resolving it
+			// would require the very zone we are trying to enter).
+			unresolved = append(unresolved, ns.Host)
+		}
+	}
+	if len(addrs) > 0 || depth >= maxDepth {
+		return addrs
+	}
+	for _, host := range unresolved {
+		scratch := &Result{Msg: &dnswire.Message{}}
+		err := r.resolveInto(host, dnswire.TypeA, scratch, depth+1)
+		res.Latency += scratch.Latency
+		res.Queries += scratch.Queries
+		res.Timeouts += scratch.Timeouts
+		if err != nil {
+			continue
+		}
+		if a := r.cachedAddress(host); a.IsValid() {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// cachedAddress returns a fresh cached address for host (A preferred, then
+// AAAA), or the zero Addr.
+func (r *Resolver) cachedAddress(host dnswire.Name) netip.Addr {
+	for _, t := range []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
+		e, _, ok := r.Cache.Get(host, t)
+		if !ok || e.Negative != cache.NotNegative {
+			continue
+		}
+		for _, rr := range e.RRs {
+			switch d := rr.Data.(type) {
+			case dnswire.A:
+				return d.Addr
+			case dnswire.AAAA:
+				return d.Addr
+			}
+		}
+	}
+	return netip.Addr{}
+}
+
+// pinSticky records the first server successfully used for a zone.
+func (r *Resolver) pinSticky(z dnswire.Name, server netip.Addr) {
+	if !r.Policy.Sticky {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sticky[z]; !ok {
+		r.sticky[z] = server
+	}
+}
+
+// cacheReferral stores a referral's NS set and glue, returning the child
+// zone name the referral delegates to.
+func (r *Resolver) cacheReferral(resp *dnswire.Message, now time.Time) dnswire.Name {
+	var child dnswire.Name
+	nsByOwner := groupRRs(resp.Authority, dnswire.TypeNS)
+	for owner, rrs := range nsByOwner {
+		child = owner
+		r.Cache.Put(cache.Entry{
+			Key:    cache.Key{Name: owner, Type: dnswire.TypeNS},
+			RRs:    rrs,
+			TTL:    rrs[0].TTL,
+			Stored: now,
+			Cred:   cache.CredAuthorityReferral,
+		})
+	}
+	if child == "" {
+		return ""
+	}
+	for _, t := range []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
+		for owner, rrs := range groupRRs(resp.Additional, t) {
+			if !r.Policy.RefreshGlueOnReferral {
+				// Keep a still-fresh cached address; only fill gaps.
+				if _, _, ok := r.Cache.Get(owner, t); ok {
+					continue
+				}
+			} else {
+				// The common behavior §4.2 measures: a re-fetched
+				// referral's glue displaces whatever address was cached,
+				// coupling the effective A lifetime to the NS TTL.
+				r.Cache.Remove(owner, t)
+			}
+			r.Cache.Put(cache.Entry{
+				Key:    cache.Key{Name: owner, Type: t},
+				RRs:    rrs,
+				TTL:    rrs[0].TTL,
+				Stored: now,
+				Cred:   cache.CredAdditional,
+				GlueOf: child,
+			})
+		}
+	}
+	return child
+}
+
+// cacheAnswerSections stores every section of a (positive) answer with the
+// credibility its section and the AA bit earn it (RFC 2181 §5.4.1).
+func (r *Resolver) cacheAnswerSections(resp *dnswire.Message, server netip.Addr, now time.Time) {
+	ansCred := cache.CredAnswerNonAuth
+	authCred := cache.CredAuthorityReferral
+	if resp.Header.AA {
+		ansCred = cache.CredAnswerAuth
+		authCred = cache.CredAuthorityAuth
+	}
+	put := func(rrs map[dnswire.Name][]dnswire.RR, t dnswire.Type, cred cache.Credibility) {
+		for owner, set := range rrs {
+			r.Cache.Put(cache.Entry{
+				Key:    cache.Key{Name: owner, Type: t},
+				RRs:    set,
+				TTL:    set[0].TTL,
+				Stored: now,
+				Cred:   cred,
+				Server: server.String(),
+			})
+		}
+	}
+	for _, t := range answerableTypes {
+		put(groupRRs(resp.Answer, t), t, ansCred)
+		put(groupRRs(resp.Authority, t), t, authCred)
+		put(groupRRs(resp.Additional, t), t, cache.CredAdditional)
+	}
+}
+
+// answerableTypes are the record types this resolver caches from responses.
+var answerableTypes = []dnswire.Type{
+	dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeNS, dnswire.TypeCNAME,
+	dnswire.TypeMX, dnswire.TypeTXT, dnswire.TypeSOA, dnswire.TypeDNSKEY,
+	dnswire.TypePTR, dnswire.TypeDS,
+}
+
+// cacheNegative stores an RFC 2308 negative answer; the TTL is the SOA
+// minimum bounded by the SOA record's own TTL.
+func (r *Resolver) cacheNegative(resp *dnswire.Message, name dnswire.Name, qtype dnswire.Type, kind cache.NegativeKind, now time.Time) {
+	ttl := uint32(300)
+	for _, rr := range resp.Authority {
+		if soa, ok := rr.Data.(dnswire.SOA); ok {
+			ttl = soa.Minimum
+			if rr.TTL < ttl {
+				ttl = rr.TTL
+			}
+			break
+		}
+	}
+	r.Cache.Put(cache.Entry{
+		Key:      cache.Key{Name: name, Type: qtype},
+		TTL:      ttl,
+		Stored:   now,
+		Cred:     cache.CredAnswerAuth,
+		Negative: kind,
+	})
+}
+
+// localRootStep consults the RFC 7706 root mirror instead of querying a
+// root server. It returns done=true when the client answer is complete.
+func (r *Resolver) localRootStep(name dnswire.Name, qtype dnswire.Type, res *Result) (bool, error) {
+	lr := r.LocalRootZone.Lookup(name, qtype)
+	now := r.Clock.Now()
+	switch lr.Kind {
+	case zone.Delegation:
+		fake := &dnswire.Message{Header: dnswire.Header{QR: true}}
+		fake.AddAuthority(lr.Authority.RRs...)
+		fake.AddAdditional(lr.Glue...)
+		r.cacheReferral(fake, now)
+		// Mirror data is parent data: a parent-centric resolver answers
+		// from it immediately; a child-centric one keeps iterating.
+		if e, rem, ok := r.answerFromCache(name, qtype); ok {
+			r.applyCached(e, rem, name, qtype, res, maxDepth)
+			return true, nil
+		}
+		return false, nil
+	case zone.Answer:
+		res.Msg.AddAnswer(lr.Answer.RRs...)
+		return true, nil
+	case zone.NXDomain:
+		res.Msg.Header.RCode = dnswire.RCodeNXDomain
+		return true, nil
+	case zone.NoData:
+		return true, nil
+	default:
+		return true, r.fail(name, qtype, res, errLameLocalRoot)
+	}
+}
+
+var errLameLocalRoot = errLocalRoot{}
+
+type errLocalRoot struct{}
+
+func (errLocalRoot) Error() string { return "resolver: local root mirror cannot serve query" }
+
+// groupRRs collects the records of type t in rrs by owner name.
+func groupRRs(rrs []dnswire.RR, t dnswire.Type) map[dnswire.Name][]dnswire.RR {
+	var out map[dnswire.Name][]dnswire.RR
+	for _, rr := range rrs {
+		if rr.Type != t {
+			continue
+		}
+		if out == nil {
+			out = make(map[dnswire.Name][]dnswire.RR)
+		}
+		out[rr.Name] = append(out[rr.Name], rr)
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package resolver
+
+import (
+	"testing"
+
+	"dnsttl/internal/dnssec"
+	"dnsttl/internal/dnswire"
+)
+
+func signUy(t *testing.T, tn *testNet) *dnssec.Key {
+	t.Helper()
+	k := dnssec.NewKey(dnswire.NewName("uy"), 99)
+	if _, err := dnssec.SignZone(tn.uy, k, tn.clock.Now()); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestValidationSignedZone(t *testing.T) {
+	tn := newTestNet(t)
+	signUy(t, tn)
+	pol := DefaultPolicy()
+	pol.Validate = true
+	r := tn.resolver(pol, 1)
+	res := mustResolve(t, r, "uy", dnswire.TypeNS)
+	if res.Msg.Header.RCode != dnswire.RCodeNoError {
+		t.Fatalf("rcode = %s", res.Msg.Header.RCode)
+	}
+	if !res.Validated || !res.Msg.Header.AD {
+		t.Errorf("validation did not run: validated=%v ad=%v", res.Validated, res.Msg.Header.AD)
+	}
+	if res.AnswerTTL != 300 {
+		t.Errorf("TTL = %d, want the child's signed 300", res.AnswerTTL)
+	}
+}
+
+// TestValidationForcesChildCentric is the §6.3 structural argument: a
+// parent-centric resolver that validates cannot answer from unsigned parent
+// glue, so it behaves child-centric for signed zones.
+func TestValidationForcesChildCentric(t *testing.T) {
+	tn := newTestNet(t)
+	signUy(t, tn)
+	pol := DefaultPolicy()
+	pol.Centricity = ParentCentric
+	pol.Validate = true
+	r := tn.resolver(pol, 2)
+	res := mustResolve(t, r, "uy", dnswire.TypeNS)
+	if res.AnswerTTL != 300 {
+		t.Errorf("validating parent-centric resolver answered TTL %d, want the child's 300", res.AnswerTTL)
+	}
+	if res.FinalServer != tn.uyAddr {
+		t.Errorf("must have contacted the child: %v", res.FinalServer)
+	}
+	if !res.Validated {
+		t.Errorf("answer should be validated")
+	}
+}
+
+func TestValidationDetectsForgery(t *testing.T) {
+	tn := newTestNet(t)
+	signUy(t, tn)
+	// The zone data changes without re-signing — stale signatures.
+	if err := tn.uy.Replace(dnswire.NewName("a.nic.uy"), dnswire.TypeA,
+		dnswire.NewA("a.nic.uy", 120, "203.0.113.66")); err != nil {
+		t.Fatal(err)
+	}
+	pol := DefaultPolicy()
+	pol.Validate = true
+	r := tn.resolver(pol, 3)
+	res, _ := r.Resolve(dnswire.NewName("a.nic.uy"), dnswire.TypeA)
+	if res.Msg.Header.RCode != dnswire.RCodeServFail {
+		t.Errorf("forged data must SERVFAIL, got %s", res.Msg.Header.RCode)
+	}
+	// The same resolution without validation sails through.
+	r2 := tn.resolver(DefaultPolicy(), 4)
+	res2 := mustResolve(t, r2, "a.nic.uy", dnswire.TypeA)
+	if len(res2.Msg.Answer) == 0 {
+		t.Errorf("non-validating resolver should answer")
+	}
+}
+
+func TestValidationUnsignedZoneIsInsecure(t *testing.T) {
+	tn := newTestNet(t) // nothing signed
+	pol := DefaultPolicy()
+	pol.Validate = true
+	r := tn.resolver(pol, 5)
+	res := mustResolve(t, r, "www.cachetest.net", dnswire.TypeA)
+	if res.Msg.Header.RCode != dnswire.RCodeNoError || len(res.Msg.Answer) == 0 {
+		t.Fatalf("unsigned zone must still resolve: %s", res.Msg.Header.RCode)
+	}
+	if res.Validated || res.Msg.Header.AD {
+		t.Errorf("unsigned answers are insecure, not validated")
+	}
+}
+
+func TestValidationCachesDNSKEY(t *testing.T) {
+	tn := newTestNet(t)
+	signUy(t, tn)
+	pol := DefaultPolicy()
+	pol.Validate = true
+	r := tn.resolver(pol, 6)
+	mustResolve(t, r, "uy", dnswire.TypeNS)
+	q1 := tn.uySrv.QueryCount()
+	tn.clock.Advance(400 * 1e9) // past the 300 s NS TTL, inside DNSKEY's 3600
+	mustResolve(t, r, "uy", dnswire.TypeNS)
+	q2 := tn.uySrv.QueryCount()
+	// The refresh needs NS + RRSIG queries, but not another DNSKEY.
+	if q2-q1 > 2 {
+		t.Errorf("refresh cost %d queries; DNSKEY should come from cache", q2-q1)
+	}
+}

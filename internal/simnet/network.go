@@ -1,0 +1,189 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Handler is the server side of the message plane. It receives raw wire
+// bytes and returns raw wire bytes, so every hop exercises the real codec.
+// A nil response means the server drops the query.
+type Handler interface {
+	ServeDNS(wire []byte, from netip.Addr) []byte
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(wire []byte, from netip.Addr) []byte
+
+// ServeDNS calls f.
+func (f HandlerFunc) ServeDNS(wire []byte, from netip.Addr) []byte { return f(wire, from) }
+
+// Exchanger is the client side: send a query to dst, get the response and
+// the round-trip time. Both the in-memory Network and the real-UDP client in
+// the authoritative package implement this.
+type Exchanger interface {
+	Exchange(src, dst netip.Addr, query []byte) (resp []byte, rtt time.Duration, err error)
+}
+
+// Exchange errors.
+var (
+	ErrTimeout     = errors.New("simnet: query timed out")
+	ErrUnreachable = errors.New("simnet: no server at destination")
+)
+
+// DefaultTimeout is the simulated client timeout charged for lost queries.
+const DefaultTimeout = 5 * time.Second
+
+// node is one attached server.
+type node struct {
+	handler Handler
+	// down marks the server unresponsive (used for §4.4-style experiments
+	// where child authoritatives are taken offline).
+	down bool
+}
+
+// Network is the in-memory message plane. Latency is decided per
+// (src, dst) pair by the configured LatencyFor function; loss by LossFor.
+type Network struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	nodes map[netip.Addr]*node
+
+	// LatencyFor returns the RTT model for a src→dst exchange. If nil, a
+	// constant 20 ms is used.
+	LatencyFor func(src, dst netip.Addr) LatencyModel
+	// LossFor returns the probability in [0,1] that a query or its reply
+	// is lost. If nil, no loss.
+	LossFor func(src, dst netip.Addr) float64
+	// Timeout is what a lost query costs the client. Zero means
+	// DefaultTimeout.
+	Timeout time.Duration
+	// Tap, when non-nil, observes every exchange — the simulation's
+	// packet capture, standing in for the paper's pcap analyses (§4.4).
+	// It runs outside the network lock; keep it cheap.
+	Tap func(TapEvent)
+
+	// counters
+	queries uint64
+	losses  uint64
+}
+
+// TapEvent describes one observed exchange.
+type TapEvent struct {
+	Src, Dst netip.Addr
+	Query    []byte
+	Response []byte // nil on loss/timeout
+	RTT      time.Duration
+	Err      error
+}
+
+// NewNetwork creates a network with a deterministic RNG seeded by seed.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		rng:   rand.New(rand.NewSource(seed)),
+		nodes: make(map[netip.Addr]*node),
+	}
+}
+
+// Attach registers handler as the server listening at addr, replacing any
+// previous server there.
+func (n *Network) Attach(addr netip.Addr, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[addr] = &node{handler: h}
+}
+
+// Detach removes the server at addr.
+func (n *Network) Detach(addr netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, addr)
+}
+
+// SetDown marks the server at addr unresponsive (true) or responsive
+// (false) without detaching it; queries to a down server time out.
+func (n *Network) SetDown(addr netip.Addr, down bool) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	nd := n.nodes[addr]
+	if nd == nil {
+		return fmt.Errorf("simnet: SetDown(%s): %w", addr, ErrUnreachable)
+	}
+	nd.down = down
+	return nil
+}
+
+// Exchange delivers query to the server at dst and returns its response.
+// The returned RTT is sampled from the link's latency model; lost or
+// unanswered queries return ErrTimeout and cost the full timeout.
+func (n *Network) Exchange(src, dst netip.Addr, query []byte) ([]byte, time.Duration, error) {
+	resp, rtt, err := n.exchange(src, dst, query)
+	if tap := n.Tap; tap != nil {
+		tap(TapEvent{Src: src, Dst: dst, Query: query, Response: resp, RTT: rtt, Err: err})
+	}
+	return resp, rtt, err
+}
+
+func (n *Network) exchange(src, dst netip.Addr, query []byte) ([]byte, time.Duration, error) {
+	n.mu.Lock()
+	nd := n.nodes[dst]
+	timeout := n.Timeout
+	if timeout == 0 {
+		timeout = DefaultTimeout
+	}
+	var (
+		lost bool
+		rtt  time.Duration
+	)
+	n.queries++
+	if n.LossFor != nil {
+		if p := n.LossFor(src, dst); p > 0 && n.rng.Float64() < p {
+			lost = true
+			n.losses++
+		}
+	}
+	if !lost && nd != nil && !nd.down {
+		model := LatencyModel(Constant(20 * time.Millisecond))
+		if n.LatencyFor != nil {
+			if m := n.LatencyFor(src, dst); m != nil {
+				model = m
+			}
+		}
+		rtt = model.Sample(n.rng)
+	}
+	n.mu.Unlock()
+
+	if nd == nil {
+		return nil, timeout, ErrUnreachable
+	}
+	if lost || nd.down {
+		return nil, timeout, ErrTimeout
+	}
+	resp := nd.handler.ServeDNS(query, src)
+	if resp == nil {
+		return nil, timeout, ErrTimeout
+	}
+	if rtt > timeout {
+		return nil, timeout, ErrTimeout
+	}
+	return resp, rtt, nil
+}
+
+// Stats returns the number of exchanges attempted and the number lost.
+func (n *Network) Stats() (queries, losses uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.queries, n.losses
+}
+
+// Rand derives an independent deterministic RNG from the network's seed
+// stream, for callers that need their own randomness.
+func (n *Network) Rand() *rand.Rand {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return rand.New(rand.NewSource(n.rng.Int63()))
+}

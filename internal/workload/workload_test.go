@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dnsttl/internal/dnswire"
+)
+
+func TestZipfShape(t *testing.T) {
+	g := New(dnswire.NewName("example.org"), 100, 1.0, 10, 1)
+	if len(g.Names) != 100 {
+		t.Fatalf("names = %d", len(g.Names))
+	}
+	// Popularity decreases and sums to 1.
+	sum := 0.0
+	prev := math.Inf(1)
+	for i := range g.Names {
+		p := g.Popularity(i)
+		if p > prev {
+			t.Fatalf("popularity not decreasing at %d", i)
+		}
+		prev = p
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("popularity sums to %v", sum)
+	}
+	// Zipf s=1: p(1)/p(2) = 2.
+	if r := g.Popularity(0) / g.Popularity(1); math.Abs(r-2) > 1e-9 {
+		t.Errorf("rank ratio = %v, want 2", r)
+	}
+}
+
+func TestArrivalProcess(t *testing.T) {
+	g := New(dnswire.NewName("example.org"), 50, 1.0, 5, 2)
+	var total time.Duration
+	counts := map[dnswire.Name]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		gap, name := g.Next()
+		if gap < 0 {
+			t.Fatalf("negative gap")
+		}
+		total += gap
+		counts[name]++
+	}
+	// Mean interarrival ≈ 1/rate = 200 ms.
+	mean := total / time.Duration(n)
+	if mean < 150*time.Millisecond || mean > 250*time.Millisecond {
+		t.Errorf("mean gap = %v, want ≈200ms", mean)
+	}
+	// The top name dominates per Zipf.
+	top := counts[g.Names[0]]
+	second := counts[g.Names[1]]
+	if top <= second {
+		t.Errorf("rank-1 count %d should exceed rank-2 %d", top, second)
+	}
+	frac := float64(top) / float64(n)
+	if math.Abs(frac-g.Popularity(0)) > 0.02 {
+		t.Errorf("rank-1 frequency %.3f vs popularity %.3f", frac, g.Popularity(0))
+	}
+}
+
+func TestExpectedHitRateMonotone(t *testing.T) {
+	g := New(dnswire.NewName("example.org"), 100, 1.0, 1, 3)
+	prev := 0.0
+	for _, ttl := range []uint32{10, 60, 300, 1000, 3600, 86400} {
+		h := g.ExpectedHitRate(ttl)
+		if h <= prev || h >= 1 {
+			t.Fatalf("hit rate not sane at %d: %v (prev %v)", ttl, h, prev)
+		}
+		prev = h
+	}
+	// The Jung et al. observation: by TTL ≈ 1000 s most of the benefit is
+	// realized — the curve is well into diminishing returns.
+	at1000 := g.ExpectedHitRate(1000)
+	at86400 := g.ExpectedHitRate(86400)
+	if at1000 < 0.6*at86400 {
+		t.Errorf("hit rate at 1000 s (%.3f) should capture most of the day-long benefit (%.3f)", at1000, at86400)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	g := New(dnswire.NewName("x.org"), 0, 1, 1, 4)
+	if len(g.Names) != 1 {
+		t.Errorf("n<1 should clamp to 1")
+	}
+	if _, name := g.Next(); name != g.Names[0] {
+		t.Errorf("single-name generator broken")
+	}
+}

@@ -1,0 +1,149 @@
+package zone
+
+import (
+	"dnsttl/internal/dnswire"
+)
+
+// AnswerKind classifies the outcome of a zone lookup.
+type AnswerKind uint8
+
+const (
+	// Answer: the zone is authoritative for the name and has the type.
+	Answer AnswerKind = iota
+	// NoData: the name exists but has no records of the queried type.
+	NoData
+	// NXDomain: the name does not exist in the zone.
+	NXDomain
+	// Delegation: the name falls under a zone cut; the result carries the
+	// NS set and any glue.
+	Delegation
+	// CNAMEAnswer: the name is an alias; the result carries the CNAME and
+	// the caller should chase the target.
+	CNAMEAnswer
+	// NotInZone: the name is not under this zone's origin at all.
+	NotInZone
+)
+
+func (k AnswerKind) String() string {
+	switch k {
+	case Answer:
+		return "answer"
+	case NoData:
+		return "nodata"
+	case NXDomain:
+		return "nxdomain"
+	case Delegation:
+		return "delegation"
+	case CNAMEAnswer:
+		return "cname"
+	case NotInZone:
+		return "notinzone"
+	}
+	return "unknown"
+}
+
+// LookupResult is the outcome of Zone.Lookup.
+type LookupResult struct {
+	Kind AnswerKind
+	// Answer holds the matching RRset (or the CNAME for CNAMEAnswer).
+	Answer *RRSet
+	// Authority holds the delegation NS set (for Delegation) or the SOA
+	// (for NoData/NXDomain negative answers, per RFC 2308).
+	Authority *RRSet
+	// Glue holds address records for in-bailiwick delegation nameservers.
+	Glue []dnswire.RR
+}
+
+// Lookup runs the authoritative-side resolution algorithm of RFC 1034
+// §4.3.2 against this zone: delegation beats data, CNAME beats other types,
+// and negative answers carry the SOA.
+func (z *Zone) Lookup(name dnswire.Name, t dnswire.Type) LookupResult {
+	if !name.IsSubdomainOf(z.Origin) {
+		return LookupResult{Kind: NotInZone}
+	}
+
+	// Zone cut between origin and name? Return a referral. A query *for*
+	// the NS set at the cut itself is also a referral (the child zone is
+	// authoritative for it, we only hold a copy).
+	if cut := z.delegationFor(name); cut != nil {
+		return LookupResult{
+			Kind:      Delegation,
+			Authority: cut,
+			Glue:      z.glueFor(cut),
+		}
+	}
+
+	z.mu.RLock()
+	byType := z.sets[name]
+	z.mu.RUnlock()
+
+	if byType != nil {
+		if set := z.Get(name, t); set != nil {
+			return LookupResult{Kind: Answer, Answer: set}
+		}
+		// CNAME matches any type except its own (and except at names that
+		// actually hold the queried type, handled above).
+		if t != dnswire.TypeCNAME {
+			if cname := z.Get(name, dnswire.TypeCNAME); cname != nil {
+				return LookupResult{Kind: CNAMEAnswer, Answer: cname}
+			}
+		}
+		return LookupResult{Kind: NoData, Authority: z.soaSet()}
+	}
+
+	// Wildcard match (RFC 1034 §4.3.3): the closest-encloser's "*" child.
+	if res, ok := z.wildcardLookup(name, t); ok {
+		return res
+	}
+
+	if z.NameExists(name) {
+		// Empty non-terminal: NODATA, not NXDOMAIN.
+		return LookupResult{Kind: NoData, Authority: z.soaSet()}
+	}
+	return LookupResult{Kind: NXDomain, Authority: z.soaSet()}
+}
+
+func (z *Zone) wildcardLookup(name dnswire.Name, t dnswire.Type) (LookupResult, bool) {
+	for n := name.Parent(); ; n = n.Parent() {
+		if !n.IsSubdomainOf(z.Origin) && n != z.Origin {
+			break
+		}
+		wc := n.Child("*")
+		if set := z.Get(wc, t); set != nil {
+			// Synthesize the answer at the query name.
+			syn := set.Clone()
+			syn.Name = name
+			for i := range syn.RRs {
+				syn.RRs[i].Name = name
+			}
+			return LookupResult{Kind: Answer, Answer: syn}, true
+		}
+		if n == z.Origin || n.IsRoot() {
+			break
+		}
+	}
+	return LookupResult{}, false
+}
+
+// glueFor collects A/AAAA records present in the zone for the delegation's
+// nameservers. Only in-bailiwick glue (hosts under the delegated name or
+// elsewhere within this zone) can exist here by construction.
+func (z *Zone) glueFor(cut *RRSet) []dnswire.RR {
+	var glue []dnswire.RR
+	for _, rr := range cut.RRs {
+		ns, ok := rr.Data.(dnswire.NS)
+		if !ok {
+			continue
+		}
+		for _, t := range []dnswire.Type{dnswire.TypeA, dnswire.TypeAAAA} {
+			if set := z.Get(ns.Host, t); set != nil {
+				glue = append(glue, set.RRs...)
+			}
+		}
+	}
+	return glue
+}
+
+func (z *Zone) soaSet() *RRSet {
+	return z.Get(z.Origin, dnswire.TypeSOA)
+}

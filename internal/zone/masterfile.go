@@ -1,0 +1,274 @@
+package zone
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dnsttl/internal/dnswire"
+)
+
+// Parse reads a zone in a practical subset of RFC 1035 master-file syntax:
+// one record per line, $ORIGIN and $TTL directives, "@" for the origin,
+// relative names, comments with ";", and the record types this module
+// models. Parentheses-continued records are joined onto one line first.
+func Parse(r io.Reader, origin dnswire.Name) (*Zone, error) {
+	z := New(origin)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		curOrigin  = origin
+		defaultTTL = uint32(3600)
+		lineNo     = 0
+		pending    strings.Builder
+		openParens = 0
+	)
+	process := func(line string) error {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			return nil
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "$ORIGIN":
+			if len(fields) < 2 {
+				return fmt.Errorf("$ORIGIN needs an argument")
+			}
+			curOrigin = dnswire.NewName(fields[1])
+			return nil
+		case "$TTL":
+			if len(fields) < 2 {
+				return fmt.Errorf("$TTL needs an argument")
+			}
+			ttl, err := parseTTL(fields[1])
+			if err != nil {
+				return err
+			}
+			defaultTTL = ttl
+			return nil
+		}
+		rr, err := parseRecord(fields, curOrigin, defaultTTL)
+		if err != nil {
+			return err
+		}
+		return z.Add(rr)
+	}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 && !inQuotes(line, i) {
+			line = line[:i]
+		}
+		// Fold multi-line records.
+		opens := strings.Count(line, "(")
+		closes := strings.Count(line, ")")
+		if openParens > 0 || opens > closes {
+			pending.WriteString(" " + line)
+			openParens += opens - closes
+			if openParens > 0 {
+				continue
+			}
+			line = pending.String()
+			pending.Reset()
+		}
+		line = strings.NewReplacer("(", " ", ")", " ").Replace(line)
+		if err := process(line); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if openParens > 0 {
+		return nil, fmt.Errorf("unbalanced parentheses at end of file")
+	}
+	return z, nil
+}
+
+func inQuotes(line string, pos int) bool {
+	quotes := 0
+	for i := 0; i < pos; i++ {
+		if line[i] == '"' {
+			quotes++
+		}
+	}
+	return quotes%2 == 1
+}
+
+// parseRecord parses: name [ttl] [class] type rdata...
+func parseRecord(fields []string, origin dnswire.Name, defaultTTL uint32) (dnswire.RR, error) {
+	if len(fields) < 3 {
+		return dnswire.RR{}, fmt.Errorf("record needs at least name, type and rdata: %v", fields)
+	}
+	name := absName(fields[0], origin)
+	rest := fields[1:]
+
+	ttl := defaultTTL
+	if v, err := parseTTL(rest[0]); err == nil {
+		ttl = v
+		rest = rest[1:]
+	}
+	if len(rest) > 0 && strings.EqualFold(rest[0], "IN") {
+		rest = rest[1:]
+	}
+	// TTL may also follow the class.
+	if len(rest) > 0 {
+		if v, err := parseTTL(rest[0]); err == nil {
+			ttl = v
+			rest = rest[1:]
+		}
+	}
+	if len(rest) == 0 {
+		return dnswire.RR{}, fmt.Errorf("missing RR type")
+	}
+	t, err := dnswire.ParseType(strings.ToUpper(rest[0]))
+	if err != nil {
+		return dnswire.RR{}, err
+	}
+	rdata := rest[1:]
+	rr := dnswire.RR{Name: name, Type: t, Class: dnswire.ClassIN, TTL: ttl}
+	switch t {
+	case dnswire.TypeA:
+		if len(rdata) != 1 {
+			return rr, fmt.Errorf("A needs 1 field")
+		}
+		return dnswire.NewA(string(name), ttl, rdata[0]), nil
+	case dnswire.TypeAAAA:
+		if len(rdata) != 1 {
+			return rr, fmt.Errorf("AAAA needs 1 field")
+		}
+		return dnswire.NewAAAA(string(name), ttl, rdata[0]), nil
+	case dnswire.TypeNS:
+		if len(rdata) != 1 {
+			return rr, fmt.Errorf("NS needs 1 field")
+		}
+		rr.Data = dnswire.NS{Host: absName(rdata[0], origin)}
+	case dnswire.TypeCNAME:
+		if len(rdata) != 1 {
+			return rr, fmt.Errorf("CNAME needs 1 field")
+		}
+		rr.Data = dnswire.CNAME{Target: absName(rdata[0], origin)}
+	case dnswire.TypePTR:
+		if len(rdata) != 1 {
+			return rr, fmt.Errorf("PTR needs 1 field")
+		}
+		rr.Data = dnswire.PTR{Target: absName(rdata[0], origin)}
+	case dnswire.TypeMX:
+		if len(rdata) != 2 {
+			return rr, fmt.Errorf("MX needs 2 fields")
+		}
+		pref, err := strconv.ParseUint(rdata[0], 10, 16)
+		if err != nil {
+			return rr, fmt.Errorf("MX preference: %w", err)
+		}
+		rr.Data = dnswire.MX{Preference: uint16(pref), Host: absName(rdata[1], origin)}
+	case dnswire.TypeTXT:
+		var txt dnswire.TXT
+		for _, f := range rdata {
+			txt.Strings = append(txt.Strings, strings.Trim(f, `"`))
+		}
+		rr.Data = txt
+	case dnswire.TypeSOA:
+		if len(rdata) != 7 {
+			return rr, fmt.Errorf("SOA needs 7 fields, got %d", len(rdata))
+		}
+		var nums [5]uint32
+		for i := 0; i < 5; i++ {
+			v, err := parseTTL(rdata[2+i])
+			if err != nil {
+				return rr, fmt.Errorf("SOA field %d: %w", 2+i, err)
+			}
+			nums[i] = v
+		}
+		rr.Data = dnswire.SOA{
+			MName: absName(rdata[0], origin), RName: absName(rdata[1], origin),
+			Serial: nums[0], Refresh: nums[1], Retry: nums[2], Expire: nums[3], Minimum: nums[4],
+		}
+	case dnswire.TypeDNSKEY:
+		if len(rdata) < 4 {
+			return rr, fmt.Errorf("DNSKEY needs 4 fields")
+		}
+		flags, err := strconv.ParseUint(rdata[0], 10, 16)
+		if err != nil {
+			return rr, err
+		}
+		proto, err := strconv.ParseUint(rdata[1], 10, 8)
+		if err != nil {
+			return rr, err
+		}
+		alg, err := strconv.ParseUint(rdata[2], 10, 8)
+		if err != nil {
+			return rr, err
+		}
+		rr.Data = dnswire.DNSKEY{
+			Flags: uint16(flags), Protocol: uint8(proto), Algorithm: uint8(alg),
+			PublicKey: []byte(strings.Join(rdata[3:], "")),
+		}
+	default:
+		return rr, fmt.Errorf("unsupported type %s in master file", t)
+	}
+	return rr, nil
+}
+
+func absName(s string, origin dnswire.Name) dnswire.Name {
+	if s == "@" {
+		return origin
+	}
+	if strings.HasSuffix(s, ".") {
+		return dnswire.NewName(s)
+	}
+	if origin.IsRoot() {
+		return dnswire.NewName(s)
+	}
+	return dnswire.NewName(s + "." + string(origin))
+}
+
+// parseTTL accepts plain seconds or BIND-style unit suffixes (30m, 2h, 1d, 1w).
+func parseTTL(s string) (uint32, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty TTL")
+	}
+	mult := uint64(1)
+	last := s[len(s)-1]
+	switch last {
+	case 's', 'S':
+		s = s[:len(s)-1]
+	case 'm', 'M':
+		mult, s = 60, s[:len(s)-1]
+	case 'h', 'H':
+		mult, s = 3600, s[:len(s)-1]
+	case 'd', 'D':
+		mult, s = 86400, s[:len(s)-1]
+	case 'w', 'W':
+		mult, s = 604800, s[:len(s)-1]
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad TTL %q", s)
+	}
+	v *= mult
+	if v > dnswire.MaxTTL {
+		return 0, fmt.Errorf("TTL %d exceeds 2^31-1", v)
+	}
+	return uint32(v), nil
+}
+
+// Write serializes the zone in master-file form, sorted by owner name, with
+// the apex SOA first as convention requires.
+func Write(w io.Writer, z *Zone) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$ORIGIN %s\n", z.Origin)
+	if soa, ok := z.SOA(); ok {
+		fmt.Fprintln(bw, soa.String())
+	}
+	for _, set := range z.AllSets() {
+		if set.Type == dnswire.TypeSOA && set.Name == z.Origin {
+			continue
+		}
+		for _, rr := range set.RRs {
+			fmt.Fprintln(bw, rr.String())
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,266 @@
+// Package zone implements the DNS zone data model: RRsets owned by names,
+// delegation points with glue, the RFC 1034 §4.3.2 lookup algorithm, and a
+// master-file reader/writer. Zones here are what authoritative servers serve
+// and what the crawler and generator populate.
+package zone
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"dnsttl/internal/dnswire"
+)
+
+// RRSet is the unit of DNS data: all records sharing (name, type, class).
+// RFC 2181 §5.2 requires all members to share one TTL; Add enforces this by
+// clamping new members to the set's existing TTL.
+type RRSet struct {
+	Name dnswire.Name
+	Type dnswire.Type
+	TTL  uint32
+	RRs  []dnswire.RR
+}
+
+// Clone returns a deep-enough copy whose RR slice can be mutated freely.
+func (s *RRSet) Clone() *RRSet {
+	c := *s
+	c.RRs = append([]dnswire.RR(nil), s.RRs...)
+	return &c
+}
+
+// Zone is one zone of authority: an apex with an SOA, plus the names below
+// it up to (and including) any delegation points.
+type Zone struct {
+	mu sync.RWMutex
+	// Origin is the zone apex.
+	Origin dnswire.Name
+	// sets maps owner name → type → RRset.
+	sets map[dnswire.Name]map[dnswire.Type]*RRSet
+	// ancestors counts, for every name on the path from an owner up to the
+	// origin, how many owner names sit at or below it — it makes empty
+	// non-terminal detection (NameExists) O(label count) instead of a
+	// full-zone scan.
+	ancestors map[dnswire.Name]int
+}
+
+// New creates an empty zone rooted at origin.
+func New(origin dnswire.Name) *Zone {
+	return &Zone{
+		Origin:    origin,
+		sets:      make(map[dnswire.Name]map[dnswire.Type]*RRSet),
+		ancestors: make(map[dnswire.Name]int),
+	}
+}
+
+// indexOwnerLocked updates the ancestor index when owner gains (delta=1) or
+// loses (delta=-1) its last RRset.
+func (z *Zone) indexOwnerLocked(owner dnswire.Name, delta int) {
+	for n := owner; ; n = n.Parent() {
+		z.ancestors[n] += delta
+		if z.ancestors[n] == 0 {
+			delete(z.ancestors, n)
+		}
+		if n == z.Origin || n.IsRoot() {
+			return
+		}
+	}
+}
+
+// Add inserts rr into the zone. The record's owner must be at or below the
+// zone origin. If an RRset already exists for (name, type), the record joins
+// it and its TTL is clamped to the set's TTL (RFC 2181 §5.2); duplicate
+// RDATA is ignored.
+func (z *Zone) Add(rr dnswire.RR) error {
+	if !rr.Name.IsSubdomainOf(z.Origin) {
+		return fmt.Errorf("zone %s: record %s out of zone", z.Origin, rr.Name)
+	}
+	if rr.TTL > dnswire.MaxTTL {
+		rr.TTL = 0 // RFC 2181 §8
+	}
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	byType := z.sets[rr.Name]
+	if byType == nil {
+		byType = make(map[dnswire.Type]*RRSet)
+		z.sets[rr.Name] = byType
+		z.indexOwnerLocked(rr.Name, 1)
+	}
+	set := byType[rr.Type]
+	if set == nil {
+		set = &RRSet{Name: rr.Name, Type: rr.Type, TTL: rr.TTL}
+		byType[rr.Type] = set
+	}
+	for _, have := range set.RRs {
+		if have.Equal(rr) {
+			return nil
+		}
+	}
+	rr.TTL = set.TTL
+	set.RRs = append(set.RRs, rr)
+	return nil
+}
+
+// MustAdd is Add that panics; for tests and generators.
+func (z *Zone) MustAdd(rrs ...dnswire.RR) {
+	for _, rr := range rrs {
+		if err := z.Add(rr); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Remove deletes the RRset for (name, t). It reports whether anything was
+// removed.
+func (z *Zone) Remove(name dnswire.Name, t dnswire.Type) bool {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	byType := z.sets[name]
+	if byType == nil {
+		return false
+	}
+	if _, ok := byType[t]; !ok {
+		return false
+	}
+	delete(byType, t)
+	if len(byType) == 0 {
+		delete(z.sets, name)
+		z.indexOwnerLocked(name, -1)
+	}
+	return true
+}
+
+// Replace atomically swaps the RRset for (name, t) with the given records,
+// which must all share that name and type. This is how experiments
+// "renumber" a server (§4.2 of the paper).
+func (z *Zone) Replace(name dnswire.Name, t dnswire.Type, rrs ...dnswire.RR) error {
+	for _, rr := range rrs {
+		if rr.Name != name || rr.Type != t {
+			return fmt.Errorf("zone %s: Replace(%s, %s) given mismatched record %s", z.Origin, name, t, rr)
+		}
+	}
+	z.Remove(name, t)
+	for _, rr := range rrs {
+		if err := z.Add(rr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetTTL rewrites the TTL of the RRset for (name, t). It reports whether the
+// set exists. This is the zone-operator action studied in §5.3 (".uy raised
+// its NS TTL from 300 s to 86400 s").
+func (z *Zone) SetTTL(name dnswire.Name, t dnswire.Type, ttl uint32) bool {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	set := z.lookupSetLocked(name, t)
+	if set == nil {
+		return false
+	}
+	set.TTL = ttl
+	for i := range set.RRs {
+		set.RRs[i].TTL = ttl
+	}
+	return true
+}
+
+func (z *Zone) lookupSetLocked(name dnswire.Name, t dnswire.Type) *RRSet {
+	byType := z.sets[name]
+	if byType == nil {
+		return nil
+	}
+	return byType[t]
+}
+
+// Get returns a copy of the RRset for (name, t), or nil.
+func (z *Zone) Get(name dnswire.Name, t dnswire.Type) *RRSet {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	set := z.lookupSetLocked(name, t)
+	if set == nil {
+		return nil
+	}
+	return set.Clone()
+}
+
+// SOA returns the zone's SOA record, or false if the zone has none.
+func (z *Zone) SOA() (dnswire.RR, bool) {
+	set := z.Get(z.Origin, dnswire.TypeSOA)
+	if set == nil || len(set.RRs) == 0 {
+		return dnswire.RR{}, false
+	}
+	return set.RRs[0], true
+}
+
+// NameExists reports whether any RRset is owned by name, or whether name is
+// an empty non-terminal (an ancestor of an existing name). Both exist for
+// NXDOMAIN purposes (RFC 8499).
+func (z *Zone) NameExists(name dnswire.Name) bool {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	return z.ancestors[name] > 0
+}
+
+// Names returns all owner names in the zone, sorted.
+func (z *Zone) Names() []dnswire.Name {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	out := make([]dnswire.Name, 0, len(z.sets))
+	for n := range z.sets {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllSets returns copies of every RRset in the zone, in sorted owner order.
+func (z *Zone) AllSets() []*RRSet {
+	names := z.Names()
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	var out []*RRSet
+	for _, n := range names {
+		byType := z.sets[n]
+		types := make([]dnswire.Type, 0, len(byType))
+		for t := range byType {
+			types = append(types, t)
+		}
+		sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+		for _, t := range types {
+			out = append(out, byType[t].Clone())
+		}
+	}
+	return out
+}
+
+// delegationFor walks from name up toward the origin looking for an NS set
+// owned strictly below the origin — a zone cut.
+func (z *Zone) delegationFor(name dnswire.Name) *RRSet {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	for n := name; n != z.Origin && !n.IsRoot(); n = n.Parent() {
+		if set := z.lookupSetLocked(n, dnswire.TypeNS); set != nil {
+			return set.Clone()
+		}
+	}
+	return nil
+}
+
+// IsDelegated reports whether name falls under a zone cut in z.
+func (z *Zone) IsDelegated(name dnswire.Name) bool {
+	return z.delegationFor(name) != nil
+}
+
+// RecordCount returns the total number of records in the zone.
+func (z *Zone) RecordCount() int {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+	n := 0
+	for _, byType := range z.sets {
+		for _, set := range byType {
+			n += len(set.RRs)
+		}
+	}
+	return n
+}

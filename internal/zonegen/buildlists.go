@@ -1,0 +1,327 @@
+package zonegen
+
+import (
+	"fmt"
+	"net/netip"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/zone"
+)
+
+// tldZone returns the registry zone object for a TLD (created by buildTLD).
+func (w *World) tldZone(tld dnswire.Name) *zone.Zone {
+	srv := w.servers[w.TLDAddr[tld]]
+	return srv.Zone(tld)
+}
+
+// parentNSTTL is the registry-side delegation TTL: .com-style registries
+// use two days, .nl one hour — the parent/child divergence the paper's §3
+// studies.
+func parentNSTTL(tld string) uint32 {
+	if tld == "nl" {
+		return 3600
+	}
+	return 172800
+}
+
+// buildSLDList populates one second-level-domain list.
+func (w *World) buildSLDList(l List, scale float64) {
+	p := params[l]
+	size := int(float64(p.size) * scale)
+	if size < 1 {
+		size = 1
+	}
+	providers := w.buildProviders(l, int(float64(size)*p.providerFrac))
+	w.buildProviderZones(l, providers)
+
+	tld := dnswire.NewName(p.tld)
+	tz := w.tldZone(tld)
+	pNSTTL := parentNSTTL(p.tld)
+
+	// Platform zones host the CNAME/SOA-answering FQDNs (one per
+	// provider, delegated once).
+	platforms := make(map[*provider]*zone.Zone)
+	platformOf := func(pr *provider) *zone.Zone {
+		if z := platforms[pr]; z != nil {
+			return z
+		}
+		name := fmt.Sprintf("plat-%s.%s", hostLabel(pr.hosts[0]), p.tld)
+		z := w.newChildZone(l, name, pr, zone.BailiwickOutOnly, Unclassified, false)
+		// The platform apex itself resolves (CDN edges do).
+		z.MustAdd(dnswire.RR{Name: z.Origin.Child("edge"), Type: dnswire.TypeA, Class: dnswire.ClassIN,
+			TTL: aTTL[l].sample(w.rng), Data: mustA(pr.addr.String())})
+		platforms[pr] = z
+		w.delegate(tz, dnswire.NewName(name), pr, zone.BailiwickOutOnly, pNSTTL)
+		return z
+	}
+
+	for i := 0; i < size; i++ {
+		pr := pickProvider(providers, w.rng)
+		responsive := w.rng.Float64() < p.responsive
+		d := &Domain{List: l, Responsive: responsive, ParentAddr: w.TLDAddr[tld]}
+
+		behavior := NSAnswer
+		if responsive {
+			x := w.rng.Float64()
+			if x < p.fCNAME {
+				behavior = NSCNAME
+			} else if x < p.fCNAME+p.fSOA {
+				behavior = NSSOA
+			}
+		}
+		d.NSBehavior = behavior
+
+		switch behavior {
+		case NSCNAME, NSSOA:
+			// A deep FQDN inside a provider platform zone.
+			plat := platformOf(pr)
+			name := dnswire.NewName(fmt.Sprintf("d%06d.id.cdn.%s", i, plat.Origin))
+			d.Name = name
+			d.ChildAddrs = []netip.Addr{pr.addr}
+			d.Bailiwick = zone.BailiwickNone
+			if behavior == NSCNAME {
+				target := dnswire.NewName("edge." + string(plat.Origin))
+				plat.MustAdd(dnswire.RR{
+					Name: name, Type: dnswire.TypeCNAME, Class: dnswire.ClassIN,
+					TTL:  cnameTTL[l].sample(w.rng),
+					Data: dnswire.CNAME{Target: target},
+				})
+			} else {
+				plat.MustAdd(dnswire.RR{
+					Name: name, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+					TTL:  aTTL[l].sample(w.rng),
+					Data: mustA(pr.customerAddr(w.rng, p.aShare, w.allocIP)),
+				})
+			}
+			d.Zone = plat
+		default:
+			name := fmt.Sprintf("d%06d-%s.%s", i, l, p.tld)
+			d.Name = dnswire.NewName(name)
+			bw := w.sampleBailiwick(p)
+			d.Bailiwick = bw
+			if !responsive {
+				// Lame delegation: parent points at a silent server.
+				d.ChildAddrs = []netip.Addr{w.deadAddr}
+				w.delegateDead(tz, d.Name, pNSTTL)
+				break
+			}
+			var content ContentClass
+			if l == NL && w.rng.Float64() < 0.27 {
+				content = w.sampleContentClass()
+			}
+			d.Content = content
+			d.ChildAddrs = []netip.Addr{pr.addr}
+			d.Zone = w.newChildZone(l, name, pr, bw, content, true)
+			w.delegate(tz, d.Name, pr, bw, pNSTTL)
+		}
+		w.Lists[l] = append(w.Lists[l], d)
+	}
+}
+
+// sampleBailiwick draws the NS-host configuration per Table 9.
+func (w *World) sampleBailiwick(p listParams) zone.BailiwickClass {
+	x := w.rng.Float64()
+	switch {
+	case x < p.fOutOnly:
+		return zone.BailiwickOutOnly
+	case x < p.fOutOnly+p.fInOnly:
+		return zone.BailiwickInOnly
+	default:
+		return zone.BailiwickMixed
+	}
+}
+
+// sampleContentClass draws a DMap class with Table 6's proportions.
+func (w *World) sampleContentClass() ContentClass {
+	x := w.rng.Float64()
+	switch {
+	case x < 0.813:
+		return Placeholder
+	case x < 0.813+0.101:
+		return Ecommerce
+	default:
+		return Parking
+	}
+}
+
+// nsHosts returns the child's NS host names for the chosen bailiwick class.
+func nsHosts(domain dnswire.Name, pr *provider, bw zone.BailiwickClass, n int) []dnswire.Name {
+	var hosts []dnswire.Name
+	switch bw {
+	case zone.BailiwickInOnly:
+		for i := 0; i < n; i++ {
+			hosts = append(hosts, domain.Child(fmt.Sprintf("ns%d", i+1)))
+		}
+	case zone.BailiwickMixed:
+		hosts = append(hosts, domain.Child("ns1"))
+		hosts = append(hosts, pr.hosts[0])
+		for len(hosts) < n {
+			hosts = append(hosts, pr.hosts[len(hosts)%len(pr.hosts)])
+		}
+	default:
+		for i := 0; i < n; i++ {
+			hosts = append(hosts, pr.hosts[i%len(pr.hosts)])
+		}
+	}
+	return hosts[:n]
+}
+
+// newChildZone creates and serves a child zone for one domain with the
+// list- (or content-class-) calibrated TTLs.
+func (w *World) newChildZone(l List, name string, pr *provider, bw zone.BailiwickClass, content ContentClass, full bool) *zone.Zone {
+	p := params[l]
+	dn := dnswire.NewName(name)
+	z := zone.New(dn)
+
+	pick := func(generic map[List]ttlDist, class map[ContentClass]ttlDist) uint32 {
+		if l == NL && content != Unclassified {
+			return class[content].sample(w.rng)
+		}
+		return generic[l].sample(w.rng)
+	}
+
+	nsTTLv := pick(nsTTL, classNSTTL)
+	soaTTL := nsTTLv
+	if soaTTL == 0 {
+		soaTTL = 3600
+	}
+	z.MustAdd(dnswire.NewSOA(name, soaTTL, "ns1."+name, "hostmaster."+name, 1, 7200, 3600, 1209600, min32(soaTTL, 3600)))
+
+	n := intBetween(w.rng, p.nsPerDomain)
+	hosts := nsHosts(dn, pr, bw, n)
+	for _, h := range hosts {
+		z.MustAdd(dnswire.RR{Name: dn, Type: dnswire.TypeNS, Class: dnswire.ClassIN, TTL: nsTTLv, Data: dnswire.NS{Host: h}})
+		if h.IsSubdomainOf(dn) {
+			// In-bailiwick host needs its address in the child zone.
+			z.MustAdd(dnswire.RR{Name: h, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+				TTL: pick(aTTL, classATTL), Data: mustA(pr.addr.String())})
+		}
+	}
+
+	if full {
+		aTTLv := pick(aTTL, classATTL)
+		nA := intBetween(w.rng, p.aPerDomain)
+		for i := 0; i < nA; i++ {
+			z.MustAdd(dnswire.RR{Name: dn, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+				TTL: aTTLv, Data: mustA(pr.customerAddr(w.rng, p.aShare, w.allocIP))})
+		}
+		if w.rng.Float64() < p.pAAAA {
+			z.MustAdd(dnswire.RR{Name: dn, Type: dnswire.TypeAAAA, Class: dnswire.ClassIN,
+				TTL: pick(aaaaTTL, classAAAATTL), Data: v6For(pr, w.rng, p.aShare)})
+		}
+		if w.rng.Float64() < p.pMX {
+			mxTTLv := pick(mxTTL, classMXTTL)
+			z.MustAdd(dnswire.RR{Name: dn, Type: dnswire.TypeMX, Class: dnswire.ClassIN,
+				TTL: mxTTLv, Data: dnswire.MX{Preference: 10, Host: dnswire.NewName("mx." + hostLabel(pr.hosts[0]) + ".net")}})
+		}
+		if w.rng.Float64() < p.pDNSKEY {
+			z.MustAdd(dnswire.RR{Name: dn, Type: dnswire.TypeDNSKEY, Class: dnswire.ClassIN,
+				TTL:  pick(dnskeyTTL, classDNSKEYTTL),
+				Data: dnswire.DNSKEY{Flags: 257, Protocol: 3, Algorithm: 13, PublicKey: []byte(name)}})
+		}
+	}
+	pr.srv.AddZone(z)
+	return z
+}
+
+// delegate adds the parent-side NS set (and glue when in bailiwick) for a
+// child to the registry zone.
+func (w *World) delegate(tz *zone.Zone, child dnswire.Name, pr *provider, bw zone.BailiwickClass, pTTL uint32) {
+	hosts := nsHosts(child, pr, bw, 2)
+	for _, h := range hosts {
+		tz.MustAdd(dnswire.RR{Name: child, Type: dnswire.TypeNS, Class: dnswire.ClassIN,
+			TTL: pTTL, Data: dnswire.NS{Host: h}})
+		if h.IsSubdomainOf(child) {
+			tz.MustAdd(dnswire.RR{Name: h, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+				TTL: pTTL, Data: mustA(pr.addr.String())})
+		}
+	}
+}
+
+// delegateDead points a child at the unresponsive server.
+func (w *World) delegateDead(tz *zone.Zone, child dnswire.Name, pTTL uint32) {
+	h := child.Child("ns1")
+	tz.MustAdd(dnswire.RR{Name: child, Type: dnswire.TypeNS, Class: dnswire.ClassIN,
+		TTL: pTTL, Data: dnswire.NS{Host: h}})
+	tz.MustAdd(dnswire.RR{Name: h, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+		TTL: pTTL, Data: mustA(w.deadAddr.String())})
+}
+
+// buildProviderZones gives each hosting provider its own resolvable zone
+// (hostN-list.net) holding its nameserver host addresses, delegated from
+// .net — so out-of-bailiwick NS names resolve end to end.
+func (w *World) buildProviderZones(l List, providers []*provider) {
+	netTLD := dnswire.NewName("net")
+	tz := w.tldZone(netTLD)
+	for _, pr := range providers {
+		origin := dnswire.NewName(hostLabel(pr.hosts[0]) + ".net")
+		z := zone.New(origin)
+		z.MustAdd(dnswire.NewSOA(string(origin), 3600, string(pr.hosts[0]), "hostmaster."+string(origin), 1, 7200, 3600, 1209600, 3600))
+		for _, h := range pr.hosts {
+			z.MustAdd(dnswire.RR{Name: origin, Type: dnswire.TypeNS, Class: dnswire.ClassIN,
+				TTL: 86400, Data: dnswire.NS{Host: h}})
+			z.MustAdd(dnswire.RR{Name: h, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+				TTL: 86400, Data: mustA(pr.addr.String())})
+		}
+		z.MustAdd(dnswire.RR{Name: origin.Child("mx"), Type: dnswire.TypeA, Class: dnswire.ClassIN,
+			TTL: 3600, Data: mustA(pr.addr.String())})
+		pr.srv.AddZone(z)
+		// Delegate from .net with glue (the hosts are in bailiwick of the
+		// provider zone).
+		for _, h := range pr.hosts {
+			tz.MustAdd(dnswire.RR{Name: origin, Type: dnswire.TypeNS, Class: dnswire.ClassIN,
+				TTL: 172800, Data: dnswire.NS{Host: h}})
+			tz.MustAdd(dnswire.RR{Name: h, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+				TTL: 172800, Data: mustA(pr.addr.String())})
+		}
+	}
+}
+
+// buildRootList populates the TLD list served from the root zone itself.
+func (w *World) buildRootList(scale float64) {
+	p := params[Root]
+	size := int(float64(p.size) * scale)
+	if size < 1 {
+		size = 1
+	}
+	providers := w.buildProviders(Root, int(float64(size)*p.providerFrac))
+	w.buildProviderZones(Root, providers)
+
+	for i := 0; i < size; i++ {
+		pr := pickProvider(providers, w.rng)
+		name := fmt.Sprintf("t%04d", i)
+		dn := dnswire.NewName(name)
+		responsive := w.rng.Float64() < p.responsive
+		d := &Domain{
+			Name: dn, List: Root, Responsive: responsive,
+			ParentAddr: w.RootAddr, NSBehavior: NSAnswer,
+		}
+		if !responsive {
+			d.ChildAddrs = []netip.Addr{w.deadAddr}
+			w.delegateDead(w.RootZone, dn, 172800)
+			w.Lists[Root] = append(w.Lists[Root], d)
+			continue
+		}
+		bw := w.sampleBailiwick(p)
+		d.Bailiwick = bw
+		d.ChildAddrs = []netip.Addr{pr.addr}
+		d.Zone = w.newChildZone(Root, name, pr, bw, Unclassified, true)
+		w.delegate(w.RootZone, dn, pr, bw, 172800)
+		w.Lists[Root] = append(w.Lists[Root], d)
+	}
+}
+
+func hostLabel(h dnswire.Name) string {
+	labels := h.Labels()
+	if len(labels) >= 2 {
+		return labels[1]
+	}
+	return labels[0]
+}
+
+func min32(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,28 @@
+package zonegen
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+
+	"dnsttl/internal/dnswire"
+)
+
+// mustA wraps an IPv4 literal as A RDATA.
+func mustA(s string) dnswire.A {
+	return dnswire.A{Addr: netip.MustParseAddr(s)}
+}
+
+// v6For synthesizes AAAA RDATA from the provider's shared pool: customers
+// that share a v4 address share the matching v6 one, preserving the
+// unique-ratio structure for AAAA records too.
+func v6For(pr *provider, r *rand.Rand, share int) dnswire.AAAA {
+	v4 := pr.customerAddr(r, share, func() netip.Addr {
+		// v6-only estates still draw pool slots; reuse a fresh v4-shaped
+		// slot as the low bits.
+		b := [4]byte{100, byte(r.Intn(256)), byte(r.Intn(256)), byte(1 + r.Intn(255))}
+		return netip.AddrFrom4(b)
+	})
+	a := netip.MustParseAddr(v4).As4()
+	return dnswire.AAAA{Addr: netip.MustParseAddr(fmt.Sprintf("2001:db8:%x:%x::%x", a[0], a[1], uint16(a[2])<<8|uint16(a[3])))}
+}

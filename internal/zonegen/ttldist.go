@@ -1,0 +1,210 @@
+package zonegen
+
+import "math/rand"
+
+// ttlDist is a discrete TTL distribution: human-chosen round values with
+// list-specific weights, calibrated to the shapes of Figure 9. Operators
+// pick from a small menu (1 min, 5 min, 1 h, 1 day, 2 days ...), which is
+// why the paper's CDFs are staircases.
+type ttlDist []struct {
+	ttl uint32
+	w   float64
+}
+
+func (d ttlDist) sample(r *rand.Rand) uint32 {
+	total := 0.0
+	for _, e := range d {
+		total += e.w
+	}
+	x := r.Float64() * total
+	for _, e := range d {
+		if x < e.w {
+			return e.ttl
+		}
+		x -= e.w
+	}
+	return d[len(d)-1].ttl
+}
+
+// median returns the distribution's weighted median, used by tests to check
+// calibration.
+func (d ttlDist) median() uint32 {
+	total := 0.0
+	for _, e := range d {
+		total += e.w
+	}
+	// Weighted median over the entries sorted by TTL. Entries are written
+	// in ascending order by convention; trust but accumulate in order.
+	acc := 0.0
+	for _, e := range d {
+		acc += e.w
+		if acc >= total/2 {
+			return e.ttl
+		}
+	}
+	return d[len(d)-1].ttl
+}
+
+// Per-list NS TTL distributions (Figure 9a): the root is dominated by 1-2
+// day values; Umbrella's cloud/CDN names skew very short; the general top
+// lists spread over the whole menu.
+var nsTTL = map[List]ttlDist{
+	Root: {
+		{0, 0.000}, {600, 0.015}, {1800, 0.02}, {3600, 0.04}, {21600, 0.05},
+		{43200, 0.08}, {86400, 0.36}, {172800, 0.435},
+	},
+	Alexa: {
+		{0, 0.0046}, {60, 0.03}, {300, 0.05}, {600, 0.05}, {1800, 0.07},
+		{3600, 0.20}, {7200, 0.05}, {14400, 0.10}, {21600, 0.11},
+		{43200, 0.10}, {86400, 0.18}, {172800, 0.055},
+	},
+	Majestic: {
+		{0, 0.0045}, {60, 0.025}, {300, 0.04}, {600, 0.04}, {1800, 0.06},
+		{3600, 0.22}, {7200, 0.06}, {14400, 0.11}, {21600, 0.10},
+		{43200, 0.11}, {86400, 0.17}, {172800, 0.065},
+	},
+	Umbrella: {
+		{0, 0.005}, {30, 0.10}, {60, 0.15}, {300, 0.13}, {600, 0.09},
+		{1800, 0.05}, {3600, 0.14}, {14400, 0.06}, {21600, 0.06},
+		{43200, 0.05}, {86400, 0.12}, {172800, 0.045},
+	},
+	NL: {
+		{0, 0.0006}, {300, 0.04}, {600, 0.04}, {1800, 0.05}, {3600, 0.27},
+		{7200, 0.08}, {14400, 0.26}, {21600, 0.06}, {43200, 0.05},
+		{86400, 0.18}, {172800, 0.01},
+	},
+}
+
+// A-record TTLs (Figure 9b): addresses are the shortest-lived records —
+// clouds and CDNs renumber constantly.
+var aTTL = map[List]ttlDist{
+	Root: { // addresses of TLD nameservers: long
+		{0, 0.0}, {3600, 0.07}, {21600, 0.08}, {43200, 0.10},
+		{86400, 0.40}, {172800, 0.35},
+	},
+	Alexa: {
+		{0, 0.0009}, {20, 0.03}, {60, 0.12}, {300, 0.30}, {600, 0.11},
+		{1800, 0.09}, {3600, 0.21}, {14400, 0.06}, {21600, 0.03},
+		{43200, 0.02}, {86400, 0.05},
+	},
+	Majestic: {
+		{0, 0.0006}, {20, 0.02}, {60, 0.10}, {300, 0.26}, {600, 0.11},
+		{1800, 0.09}, {3600, 0.25}, {14400, 0.07}, {21600, 0.04},
+		{43200, 0.02}, {86400, 0.05},
+	},
+	Umbrella: {
+		{0, 0.0007}, {20, 0.08}, {60, 0.25}, {300, 0.26}, {600, 0.09},
+		{1800, 0.05}, {3600, 0.14}, {14400, 0.04}, {21600, 0.03},
+		{43200, 0.02}, {86400, 0.04},
+	},
+	NL: {
+		{0, 0.0001}, {60, 0.04}, {300, 0.09}, {600, 0.07}, {1800, 0.07},
+		{3600, 0.42}, {7200, 0.09}, {14400, 0.12}, {43200, 0.04},
+		{86400, 0.06},
+	},
+}
+
+// AAAA TTLs track A but slightly longer (v6 estates change less).
+var aaaaTTL = map[List]ttlDist{
+	Root:     aTTL[Root],
+	Alexa:    aTTL[Alexa],
+	Majestic: aTTL[Majestic],
+	Umbrella: aTTL[Umbrella],
+	NL: {
+		{0, 0.0001}, {300, 0.06}, {600, 0.05}, {1800, 0.06}, {3600, 0.38},
+		{7200, 0.10}, {14400, 0.20}, {43200, 0.05}, {86400, 0.10},
+	},
+}
+
+// MX TTLs (Figure 9d-ish): mail routing is mid-range.
+var mxTTL = map[List]ttlDist{
+	Root: {{3600, 0.3}, {86400, 0.7}},
+	Alexa: {
+		{0, 0.001}, {300, 0.10}, {600, 0.06}, {1800, 0.08}, {3600, 0.38},
+		{14400, 0.16}, {21600, 0.06}, {43200, 0.05}, {86400, 0.11},
+	},
+	Majestic: {
+		{0, 0.001}, {300, 0.09}, {600, 0.06}, {1800, 0.08}, {3600, 0.38},
+		{14400, 0.17}, {21600, 0.06}, {43200, 0.05}, {86400, 0.11},
+	},
+	Umbrella: {
+		{0, 0.0008}, {300, 0.14}, {600, 0.08}, {1800, 0.07}, {3600, 0.35},
+		{14400, 0.14}, {21600, 0.06}, {43200, 0.05}, {86400, 0.11},
+	},
+	NL: {
+		{0, 0.0001}, {300, 0.05}, {600, 0.04}, {1800, 0.06}, {3600, 0.48},
+		{7200, 0.09}, {14400, 0.14}, {43200, 0.04}, {86400, 0.10},
+	},
+}
+
+// DNSKEY TTLs: long, like NS (keys roll rarely).
+var dnskeyTTL = map[List]ttlDist{
+	Alexa: {
+		{300, 0.03}, {3600, 0.35}, {7200, 0.08}, {14400, 0.18},
+		{21600, 0.07}, {43200, 0.07}, {86400, 0.20}, {172800, 0.02},
+	},
+	Majestic: {
+		{300, 0.03}, {3600, 0.34}, {7200, 0.08}, {14400, 0.18},
+		{21600, 0.08}, {43200, 0.07}, {86400, 0.20}, {172800, 0.02},
+	},
+	Umbrella: {
+		{300, 0.04}, {3600, 0.36}, {7200, 0.08}, {14400, 0.16},
+		{21600, 0.08}, {43200, 0.07}, {86400, 0.19}, {172800, 0.02},
+	},
+	NL: {
+		{3600, 0.42}, {7200, 0.06}, {14400, 0.27}, {21600, 0.04},
+		{43200, 0.04}, {86400, 0.17},
+	},
+}
+
+// CNAME TTLs: short-to-mid, CDN-style.
+var cnameTTL = map[List]ttlDist{
+	Alexa: {
+		{20, 0.06}, {60, 0.15}, {300, 0.3}, {600, 0.12}, {1800, 0.08},
+		{3600, 0.18}, {14400, 0.05}, {86400, 0.06},
+	},
+	Majestic: {
+		{20, 0.05}, {60, 0.13}, {300, 0.3}, {600, 0.12}, {1800, 0.08},
+		{3600, 0.2}, {14400, 0.06}, {86400, 0.06},
+	},
+	Umbrella: {
+		{20, 0.12}, {60, 0.28}, {300, 0.28}, {600, 0.09}, {1800, 0.05},
+		{3600, 0.12}, {14400, 0.03}, {86400, 0.03},
+	},
+	NL: {
+		{300, 0.1}, {3600, 0.45}, {14400, 0.25}, {86400, 0.2},
+	},
+}
+
+// Content-class conditioned .nl TTL distributions, calibrated so the class
+// medians land on Table 7 (hours): NS 4/24/4, A 1/1/1, AAAA 0.1/1/4,
+// MX 1/1/1, DNSKEY 1/24/4 for e-commerce/parking/placeholder.
+var classNSTTL = map[ContentClass]ttlDist{
+	Ecommerce:   {{300, 0.06}, {3600, 0.25}, {7200, 0.1}, {14400, 0.35}, {86400, 0.24}},
+	Parking:     {{3600, 0.15}, {14400, 0.2}, {86400, 0.55}, {172800, 0.10}},
+	Placeholder: {{300, 0.05}, {3600, 0.28}, {7200, 0.08}, {14400, 0.38}, {86400, 0.21}},
+}
+
+var classATTL = map[ContentClass]ttlDist{
+	Ecommerce:   {{60, 0.08}, {300, 0.2}, {600, 0.1}, {3600, 0.45}, {14400, 0.12}, {86400, 0.05}},
+	Parking:     {{300, 0.15}, {600, 0.1}, {3600, 0.5}, {14400, 0.15}, {86400, 0.10}},
+	Placeholder: {{60, 0.04}, {300, 0.18}, {600, 0.09}, {3600, 0.48}, {14400, 0.14}, {86400, 0.07}},
+}
+
+var classAAAATTL = map[ContentClass]ttlDist{
+	Ecommerce:   {{60, 0.2}, {300, 0.15}, {360, 0.25}, {600, 0.15}, {3600, 0.15}, {14400, 0.10}},
+	Parking:     {{300, 0.2}, {600, 0.1}, {3600, 0.45}, {14400, 0.15}, {86400, 0.10}},
+	Placeholder: {{600, 0.1}, {3600, 0.25}, {7200, 0.08}, {14400, 0.4}, {86400, 0.17}},
+}
+
+var classMXTTL = map[ContentClass]ttlDist{
+	Ecommerce:   {{300, 0.1}, {600, 0.1}, {3600, 0.55}, {14400, 0.15}, {86400, 0.10}},
+	Parking:     {{300, 0.1}, {3600, 0.55}, {14400, 0.2}, {86400, 0.15}},
+	Placeholder: {{300, 0.08}, {600, 0.08}, {3600, 0.52}, {14400, 0.2}, {86400, 0.12}},
+}
+
+var classDNSKEYTTL = map[ContentClass]ttlDist{
+	Ecommerce:   {{3600, 0.55}, {14400, 0.2}, {86400, 0.25}},
+	Parking:     {{3600, 0.15}, {14400, 0.2}, {86400, 0.60}, {172800, 0.05}},
+	Placeholder: {{3600, 0.3}, {7200, 0.05}, {14400, 0.45}, {86400, 0.20}},
+}

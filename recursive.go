@@ -1,0 +1,64 @@
+package dnsttl
+
+import (
+	"net/netip"
+
+	"dnsttl/internal/authoritative"
+	"dnsttl/internal/dnswire"
+)
+
+// RecursiveServer fronts a Client with a UDP listener, turning the library
+// into a runnable recursive resolver daemon (cmd/resolverd).
+type RecursiveServer struct {
+	Client *Client
+	u      *authoritative.UDPServer
+}
+
+// ServeDNS answers one client query through the resolver: decode, resolve
+// (cache first), re-stamp the client's transaction ID, encode.
+func (rs *RecursiveServer) ServeDNS(wire []byte, from netip.Addr) []byte {
+	q, err := dnswire.Decode(wire)
+	if err != nil || len(q.Question) == 0 {
+		if len(wire) < 12 {
+			return nil
+		}
+		resp := &Message{Header: Header{
+			ID: uint16(wire[0])<<8 | uint16(wire[1]), QR: true, RCode: dnswire.RCodeFormErr,
+		}}
+		out, err := Encode(resp)
+		if err != nil {
+			return nil
+		}
+		return out
+	}
+	res, err := rs.Client.Lookup(q.Q().Name, q.Q().Type)
+	if err != nil || res == nil {
+		resp := q.Reply()
+		resp.Header.RCode = RCodeServFail
+		resp.Header.RA = true
+		out, _ := Encode(resp)
+		return out
+	}
+	msg := res.Msg
+	msg.Header.ID = q.Header.ID
+	msg.Header.RD = q.Header.RD
+	out, err := dnswire.EncodeWithLimit(msg, dnswire.MaxEDNSSize)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// ListenUDP binds addr and serves client queries until Close.
+func (rs *RecursiveServer) ListenUDP(addr string) (netip.AddrPort, error) {
+	rs.u = &authoritative.UDPServer{Handler: rs}
+	return rs.u.Listen(addr)
+}
+
+// Close stops the listener.
+func (rs *RecursiveServer) Close() error {
+	if rs.u == nil {
+		return nil
+	}
+	return rs.u.Close()
+}

@@ -1,0 +1,71 @@
+package dnsttl
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"dnsttl/internal/dnswire"
+)
+
+// TestTCPFallback drives the full truncation path over the OS network: a
+// plain (non-EDNS) UDP query to a response bigger than 512 bytes comes back
+// truncated, and UDPNet retries it over TCP transparently.
+func TestTCPFallback(t *testing.T) {
+	z := NewZone(NewName("example.org"))
+	z.MustAdd(dnswire.NewSOA("example.org", 3600, "ns1.example.org", "x.example.org", 1, 1, 1, 1, 60))
+	for i := 0; i < 10; i++ {
+		z.MustAdd(dnswire.NewTXT("big.example.org", 60, fmt.Sprintf("%d-%s", i, strings.Repeat("y", 100))))
+	}
+	srv := NewServer(NewName("ns1.example.org"), nil)
+	srv.AddZone(z)
+	udpAddr, err := srv.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpAddr, err := srv.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A classic 512-byte client: no OPT record.
+	q := dnswire.NewIterativeQuery(5, NewName("big.example.org"), TypeTXT)
+	wire, err := Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without fallback: truncated, empty.
+	plain := UDPNet{Port: udpAddr.Port(), Timeout: 2 * time.Second, DisableTCPFallback: true}
+	respWire, _, err := plain.Exchange(netip.Addr{}, udpAddr.Addr(), wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := Decode(respWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Header.TC || len(resp.Answer) != 0 {
+		t.Fatalf("expected truncation without fallback: TC=%v answers=%d", resp.Header.TC, len(resp.Answer))
+	}
+
+	// With fallback: the TCP retry returns the full answer.
+	fb := UDPNet{Port: udpAddr.Port(), TCPPort: tcpAddr.Port(), Timeout: 2 * time.Second}
+	respWire, rtt, err := fb.Exchange(netip.Addr{}, udpAddr.Addr(), wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = Decode(respWire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.TC || len(resp.Answer) != 10 {
+		t.Fatalf("fallback failed: TC=%v answers=%d", resp.Header.TC, len(resp.Answer))
+	}
+	if rtt <= 0 {
+		t.Errorf("rtt = %v", rtt)
+	}
+}
