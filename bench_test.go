@@ -325,3 +325,18 @@ func BenchmarkParentChildComparison(b *testing.B) {
 		"frac_child_shorter_nl", "frac_child_shorter_alexa",
 		"median_ratio_alexa", "median_ratio_root")
 }
+
+// BenchmarkFarmFragmentation regenerates the resolver-farm sweep (§4.4's
+// operational finding): private frontend caches multiply authoritative
+// query volume ~linearly with farm size at short TTLs, shared and sharded
+// fleet caches keep it flat.
+func BenchmarkFarmFragmentation(b *testing.B) {
+	var r *Report
+	for i := 0; i < b.N; i++ {
+		r = experiments.FarmFragmentation(4000, 42)
+	}
+	reportMetrics(b, r,
+		"growth_private_ttl60", "hot_growth_private_ttl60",
+		"growth_shared_ttl60", "growth_sharded_ttl60",
+		"hit_private_f16_ttl60", "hit_shared_f16_ttl60")
+}

@@ -8,6 +8,7 @@ import (
 
 	"dnsttl/internal/authoritative"
 	"dnsttl/internal/cache"
+	"dnsttl/internal/farm"
 	"dnsttl/internal/resolver"
 	"dnsttl/internal/simnet"
 	"dnsttl/internal/zone"
@@ -78,14 +79,57 @@ type ClientConfig struct {
 	Clock Clock
 	// LocalRoot is the RFC 7706 mirror for policies that use one.
 	LocalRoot *Zone
+	// Frontends > 1 runs the client as a resolver farm of that many
+	// recursive frontends behind one balancer (the paper's §4.4 public
+	// resolver shape); 0 or 1 keeps the classic single resolver.
+	Frontends int
+	// Topology selects how much cache the farm frontends share
+	// (FarmPrivate, FarmShared, FarmSharded). Ignored for a single
+	// resolver.
+	Topology FarmTopology
+	// Placement picks the frontend for each query (FarmPlaceRandom,
+	// FarmPlaceRoundRobin, FarmPlaceHashQName).
+	Placement FarmPlacement
+	// Coalesce enables farm-wide singleflight on identical in-flight
+	// queries.
+	Coalesce bool
 	// Seed makes server selection and query IDs deterministic; 0 uses 1.
 	Seed int64
 }
 
+// FarmTopology selects the farm cache design; see the Farm* constants.
+type FarmTopology = farm.Topology
+
+// FarmPlacement selects the farm's query placement policy.
+type FarmPlacement = farm.Placement
+
+// Farm cache topologies and placement policies, re-exported for
+// ClientConfig.
+const (
+	FarmPrivate = farm.Private
+	FarmShared  = farm.Shared
+	FarmSharded = farm.Sharded
+
+	FarmPlaceRandom     = farm.PlaceRandom
+	FarmPlaceRoundRobin = farm.PlaceRoundRobin
+	FarmPlaceHashQName  = farm.PlaceHashQName
+)
+
+// ParseFarmTopology maps "private", "shared", or "sharded" to a topology.
+func ParseFarmTopology(s string) (FarmTopology, error) { return farm.ParseTopology(s) }
+
+// ParseFarmPlacement maps "random", "roundrobin", or "hash" to a placement.
+func ParseFarmPlacement(s string) (FarmPlacement, error) { return farm.ParsePlacement(s) }
+
+// FarmStats is the fleet telemetry snapshot (per-frontend + aggregate).
+type FarmStats = farm.Stats
+
 // Client is an iterative caching DNS resolver — the library's front door
-// for resolution.
+// for resolution. With ClientConfig.Frontends > 1 it is a whole resolver
+// farm behind one Lookup.
 type Client struct {
-	r *resolver.Resolver
+	r *resolver.Resolver // single-resolver mode; nil when farmed
+	f *farm.Farm         // farm mode; nil for a single resolver
 }
 
 // NewClient builds a Client.
@@ -102,6 +146,18 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Frontends > 1 {
+		f := farm.New(farm.Config{
+			Frontends: cfg.Frontends,
+			Topology:  cfg.Topology,
+			Placement: cfg.Placement,
+			Coalesce:  cfg.Coalesce,
+			Policy:    cfg.Policy,
+			LocalRoot: cfg.LocalRoot,
+			Seed:      cfg.Seed,
+		}, netip.MustParseAddr("127.0.0.1"), cfg.Net, cfg.Clock, cfg.Roots)
+		return &Client{f: f}, nil
+	}
 	r := resolver.New(netip.MustParseAddr("127.0.0.1"), cfg.Policy, cfg.Net, cfg.Clock, cfg.Roots, cfg.Seed)
 	if cfg.LocalRoot != nil {
 		r.LocalRootZone = cfg.LocalRoot
@@ -111,11 +167,29 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 
 // Lookup resolves (name, qtype), from cache when possible.
 func (c *Client) Lookup(name Name, qtype Type) (*Result, error) {
+	if c.f != nil {
+		return c.f.Resolve(name, qtype)
+	}
 	return c.r.Resolve(name, qtype)
 }
 
-// CacheStats reports the client's cache counters.
-func (c *Client) CacheStats() CacheStats { return c.r.Cache.Stats() }
+// CacheStats reports the client's cache counters — aggregated over the
+// whole fleet when the client is a farm.
+func (c *Client) CacheStats() CacheStats {
+	if c.f != nil {
+		return c.f.CacheStats()
+	}
+	return c.r.Cache.Stats()
+}
+
+// FarmStats reports fleet telemetry. ok is false for a single-resolver
+// client, which has no farm counters.
+func (c *Client) FarmStats() (st FarmStats, ok bool) {
+	if c.f == nil {
+		return FarmStats{}, false
+	}
+	return c.f.Stats(), true
+}
 
 // CacheStats is the cache counter snapshot.
 type CacheStats = cache.Stats

@@ -35,6 +35,10 @@ func main() {
 		stale         = flag.Bool("servestale", false, "serve stale answers when authoritatives fail")
 		validate      = flag.Bool("validate", false, "enable DNSSEC validation")
 		localRoot     = flag.Bool("localroot", false, "mirror the root zone locally via AXFR (RFC 7706)")
+		frontends     = flag.Int("frontends", 1, "run a resolver farm of this many recursive frontends")
+		topology      = flag.String("cache-topology", "shared", "farm cache topology: private, shared, or sharded")
+		placement     = flag.String("placement", "random", "farm query placement: random, roundrobin, or hash")
+		coalesce      = flag.Bool("coalesce", true, "coalesce identical in-flight queries across the farm")
 	)
 	flag.Parse()
 	if *roots == "" {
@@ -61,9 +65,25 @@ func main() {
 	pol.LocalRoot = *localRoot
 
 	cfg := dnsttl.ClientConfig{
-		Policy: pol,
-		Roots:  rootAddrs,
-		Net:    dnsttl.UDPNet{Port: uint16(*rootPort)},
+		Policy:    pol,
+		Roots:     rootAddrs,
+		Net:       dnsttl.UDPNet{Port: uint16(*rootPort)},
+		Frontends: *frontends,
+		Coalesce:  *coalesce,
+	}
+	if *frontends > 1 {
+		topo, err := dnsttl.ParseFarmTopology(*topology)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resolverd:", err)
+			os.Exit(2)
+		}
+		place, err := dnsttl.ParseFarmPlacement(*placement)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resolverd:", err)
+			os.Exit(2)
+		}
+		cfg.Topology = topo
+		cfg.Placement = place
 	}
 	if *localRoot {
 		z, err := authoritative.FetchZone(netip.AddrPortFrom(rootAddrs[0], uint16(*rootPort)),
@@ -86,13 +106,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "resolverd:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("recursive resolver on udp://%s (policy: %s, cap %ds)\n",
-		addr, pol.Centricity, pol.TTLCap)
+	if *frontends > 1 {
+		fmt.Printf("resolver farm on udp://%s (%d frontends, %s cache, %s placement, policy: %s, cap %ds)\n",
+			addr, *frontends, *topology, *placement, pol.Centricity, pol.TTLCap)
+	} else {
+		fmt.Printf("recursive resolver on udp://%s (policy: %s, cap %ds)\n",
+			addr, pol.Centricity, pol.TTLCap)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := client.CacheStats()
 	fmt.Printf("\ncache: %d entries, %d hits, %d misses\n", st.Entries, st.Hits, st.Misses)
+	if fs, ok := client.FarmStats(); ok {
+		fmt.Print(fs.String())
+	}
 	_ = rs.Close()
 }

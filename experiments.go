@@ -43,6 +43,7 @@ var ExperimentIDs = []string{
 	"table8", "table9", "figure10", "table10",
 	"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 	"dnssec", "hitrate", "outage-sweep", "propagation", "parent-child",
+	"farm-fragmentation",
 }
 
 // RunExperiment regenerates one paper artifact. IDs are listed in
@@ -106,6 +107,8 @@ func RunExperiment(id string, sc ExperimentScale) (*Report, error) {
 		return experiments.OutageSweep(sc.Probes/3, sc.Seed), nil
 	case "propagation":
 		return experiments.PropagationSweep(sc.Probes/3, sc.Seed), nil
+	case "farm-fragmentation":
+		return experiments.FarmFragmentation(sc.Probes*20, sc.Seed), nil
 	}
 	return nil, fmt.Errorf("dnsttl: unknown experiment %q (known: %v)", id, ExperimentIDs)
 }
@@ -136,6 +139,7 @@ func RunAllExperiments(sc ExperimentScale) ([]*Report, error) {
 		"figure10", "table10",
 		"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 		"dnssec", "hitrate", "outage-sweep", "propagation",
+		"farm-fragmentation",
 	} {
 		r, err := RunExperiment(id, sc)
 		if err != nil {

@@ -153,3 +153,75 @@ func TestRecursiveServerErrorPaths(t *testing.T) {
 		t.Errorf("rcode string")
 	}
 }
+
+// TestFacadeFarmClient runs the public Client in farm mode over the
+// simulation network: three sharded frontends behind round-robin placement
+// behave like one resolver (the second query hits cache on a different
+// frontend), and fleet telemetry is exposed through FarmStats.
+func TestFacadeFarmClient(t *testing.T) {
+	rootZone, err := ParseZone(rootZoneText, NewName("."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orgZone, err := ParseZone(orgZoneText, NewName("example.org"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := NewVirtualClock()
+	net := simnet.NewNetwork(1)
+	srv := NewServer(NewName("a.root-servers.net"), clock)
+	srv.AddZone(rootZone)
+	srv.AddZone(orgZone)
+	net.Attach(netip.MustParseAddr("127.0.0.1"), srv.s)
+
+	client, err := NewClient(ClientConfig{
+		Roots:     []netip.Addr{netip.MustParseAddr("127.0.0.1")},
+		Net:       net,
+		Clock:     clock,
+		Frontends: 3,
+		Topology:  FarmSharded,
+		Placement: FarmPlaceRoundRobin,
+		Coalesce:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.Lookup(NewName("www.example.org"), TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit || len(res.Msg.Answer) == 0 {
+		t.Fatalf("first farm lookup: hit=%v answers=%d", res.CacheHit, len(res.Msg.Answer))
+	}
+	// Round-robin sends the repeat to a different frontend; the sharded
+	// pool makes it a hit anyway.
+	res, err = client.Lookup(NewName("www.example.org"), TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Errorf("second lookup missed: the sharded farm cache is fragmented")
+	}
+	fs, ok := client.FarmStats()
+	if !ok {
+		t.Fatal("farm client reports no FarmStats")
+	}
+	if len(fs.PerFrontend) != 3 || fs.Total.Client != 2 || fs.Total.Hits != 1 {
+		t.Errorf("farm stats = %+v", fs.Total)
+	}
+	if st := client.CacheStats(); st.Hits != 1 || st.Entries == 0 {
+		t.Errorf("aggregated cache stats = %+v", st)
+	}
+
+	// A single-resolver client has no farm telemetry.
+	single, err := NewClient(ClientConfig{
+		Roots: []netip.Addr{netip.MustParseAddr("127.0.0.1")},
+		Net:   net, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := single.FarmStats(); ok {
+		t.Errorf("single-resolver client should report ok=false from FarmStats")
+	}
+}

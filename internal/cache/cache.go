@@ -140,6 +140,33 @@ func (c Config) staleFor() time.Duration {
 	return c.StaleFor
 }
 
+// Store is the cache surface the resolver (and the farm topologies built
+// on top of it) depend on. *Cache is the single-lock implementation;
+// Sharded spreads the same contract over a consistent-hash pool so many
+// farm frontends can share one logical cache without serializing on one
+// mutex.
+type Store interface {
+	// Put stores an entry under the store's TTL cap/floor and RFC 2181
+	// credibility rules, reporting whether it was accepted.
+	Put(e Entry) bool
+	// Get returns the fresh entry for (name, t) and its remaining TTL.
+	Get(name dnswire.Name, t dnswire.Type) (*Entry, uint32, bool)
+	// GetStale is Get extended with the RFC 8767 serve-stale window.
+	GetStale(name dnswire.Name, t dnswire.Type) (*Entry, uint32, bool)
+	// Remove deletes the entry for (name, t), reporting whether it existed.
+	Remove(name dnswire.Name, t dnswire.Type) bool
+	// PurgeGlueOf removes every entry cached as glue for the NS owner.
+	PurgeGlueOf(nsOwner dnswire.Name) int
+	// Flush empties the store.
+	Flush()
+	// Len counts entries, expired ones included.
+	Len() int
+	// Stats snapshots the hit/miss/eviction counters.
+	Stats() Stats
+	// Keys lists all cached keys, for inspection.
+	Keys() []Key
+}
+
 // Cache is a TTL-decaying, credibility-ranked DNS cache.
 type Cache struct {
 	clock simnet.Clock

@@ -306,3 +306,55 @@ func TestQuickCredibilityInvariant(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestGetStaleBoundaries pins the RFC 8767 window semantics at its exact
+// edges: an entry is stale (not fresh) from the moment elapsed == TTL,
+// servable as stale through expiry+StaleFor inclusive, and gone one tick
+// later.
+func TestGetStaleBoundaries(t *testing.T) {
+	const ttl = 100
+	const staleFor = time.Hour
+	name := dnswire.NewName("edge.org")
+
+	fresh := func(elapsed time.Duration) (*Entry, uint32, bool, *Cache) {
+		clk := simnet.NewVirtualClock()
+		c := New(clk, Config{ServeStale: true, StaleFor: staleFor})
+		c.Put(entry("edge.org", dnswire.TypeA, ttl, CredAnswerAuth))
+		clk.Advance(elapsed)
+		e, rem, ok := c.GetStale(name, dnswire.TypeA)
+		return e, rem, ok, c
+	}
+
+	// One tick before expiry: still fresh, real remaining TTL.
+	if _, rem, ok, c := fresh(ttl*time.Second - time.Second); !ok || rem != 1 {
+		t.Errorf("t=TTL-1: rem=%d ok=%v, want fresh with rem=1", rem, ok)
+	} else if st := c.Stats(); st.StaleHits != 0 {
+		t.Errorf("t=TTL-1: StaleHits=%d, want 0", st.StaleHits)
+	}
+
+	// Exactly at expiry: no longer fresh (Remaining: elapsed >= TTL), but
+	// inside the stale window, served with the RFC 8767 30 s TTL.
+	if e, rem, ok, c := fresh(ttl * time.Second); !ok || rem != 30 {
+		t.Errorf("t=TTL: rem=%d ok=%v, want stale serve with rem=30", rem, ok)
+	} else {
+		if e.Key.Name != name {
+			t.Errorf("t=TTL: wrong entry %v", e.Key)
+		}
+		if st := c.Stats(); st.StaleHits != 1 || st.Hits != 0 {
+			t.Errorf("t=TTL: stats=%+v, want 1 stale hit and no fresh hit", st)
+		}
+	}
+
+	// Exactly at expiry+StaleFor: the window is inclusive (now-expiry must
+	// EXCEED StaleFor to reject), so this still serves.
+	if _, rem, ok, _ := fresh(ttl*time.Second + staleFor); !ok || rem != 30 {
+		t.Errorf("t=TTL+StaleFor: rem=%d ok=%v, want stale serve at window edge", rem, ok)
+	}
+
+	// One tick past the window: gone.
+	if _, _, ok, c := fresh(ttl*time.Second + staleFor + time.Second); ok {
+		t.Errorf("t=TTL+StaleFor+1: served beyond the stale window")
+	} else if st := c.Stats(); st.StaleHits != 0 {
+		t.Errorf("t=TTL+StaleFor+1: StaleHits=%d, want 0", st.StaleHits)
+	}
+}

@@ -1,0 +1,226 @@
+// Package farm models a public resolver service the way the paper's §4.4
+// infrastructure analysis found them deployed: not one recursive resolver
+// but a *farm* of N frontends behind one service address, each running the
+// full iterative resolver, with a load balancer deciding which frontend a
+// client query lands on and a cache topology deciding how much of the
+// fleet's cache those frontends share.
+//
+// The topology is the whole story of the paper's fragmentation finding:
+// with private per-frontend caches a record must be fetched from the
+// authoritative servers once per frontend, so short TTLs multiply
+// authoritative load by the farm size; with a shared or consistent-hash
+// sharded cache the fleet behaves like one big resolver and authoritative
+// load is flat in the frontend count. In-flight query coalescing
+// (singleflight) closes the remaining gap: concurrent identical misses
+// trigger one upstream iteration instead of N.
+package farm
+
+import (
+	"fmt"
+	"net/netip"
+
+	"dnsttl/internal/cache"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/resolver"
+	"dnsttl/internal/simnet"
+	"dnsttl/internal/zone"
+)
+
+// Topology selects how much cache the farm's frontends share.
+type Topology uint8
+
+const (
+	// Private gives every frontend its own cache — the fragmented design
+	// whose authoritative-load blowup at short TTLs §4.4 observes.
+	Private Topology = iota
+	// Shared backs every frontend with one cache (one lock): the fleet
+	// acts as a single resolver, at the cost of hot-path contention.
+	Shared
+	// Sharded backs the fleet with a consistent-hash cache pool
+	// (cache.Sharded): shared capacity and hit rate, per-shard locking.
+	Sharded
+)
+
+// ParseTopology maps the CLI spellings to a Topology.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "private":
+		return Private, nil
+	case "shared":
+		return Shared, nil
+	case "sharded":
+		return Sharded, nil
+	}
+	return Private, fmt.Errorf("farm: unknown cache topology %q (want private, shared, or sharded)", s)
+}
+
+func (t Topology) String() string {
+	switch t {
+	case Shared:
+		return "shared"
+	case Sharded:
+		return "sharded"
+	}
+	return "private"
+}
+
+// Config sizes and shapes a Farm.
+type Config struct {
+	// Frontends is the number of recursive frontends; values below 1 mean 1.
+	Frontends int
+	// Topology selects the cache design; see the constants.
+	Topology Topology
+	// Shards sizes the Sharded pool; 0 means one shard per frontend.
+	Shards int
+	// Placement decides which frontend serves a query; see Placement.
+	Placement Placement
+	// Coalesce enables farm-wide singleflight: identical queries arriving
+	// while one is in flight wait for its answer instead of iterating.
+	Coalesce bool
+	// Policy configures every frontend identically.
+	Policy resolver.Policy
+	// CacheCapacity bounds each cache (per frontend for Private, per shard
+	// for Sharded, total for Shared); 0 keeps the cache default.
+	CacheCapacity int
+	// LocalRoot is the RFC 7706 root mirror handed to every frontend when
+	// the policy enables LocalRoot.
+	LocalRoot *zone.Zone
+	// Seed drives frontend RNGs and the random placement policy.
+	Seed int64
+}
+
+func (c Config) frontends() int {
+	if c.Frontends < 1 {
+		return 1
+	}
+	return c.Frontends
+}
+
+func (c Config) shards() int {
+	if c.Shards < 1 {
+		return c.frontends()
+	}
+	return c.Shards
+}
+
+// Farm is a fleet of recursive frontends behind one load balancer,
+// implementing resolver.Lookuper so it drops in anywhere a single
+// Resolver or Forwarder does.
+type Farm struct {
+	cfg       Config
+	frontends []*resolver.Resolver
+	balancer  balancer
+	flight    *flightGroup
+	store     cache.Store // nil for Private topology
+	telemetry *telemetry
+}
+
+// New builds a farm. Frontend i sources its queries from addr+i, so taps
+// and authoritative logs can attribute traffic per frontend. The net,
+// clock, and roots are shared by all frontends, as in one datacenter.
+func New(cfg Config, addr netip.Addr, net simnet.Exchanger, clock simnet.Clock, roots []netip.Addr) *Farm {
+	if clock == nil {
+		clock = simnet.WallClock{}
+	}
+	n := cfg.frontends()
+	f := &Farm{
+		cfg:       cfg,
+		frontends: make([]*resolver.Resolver, n),
+		balancer:  newBalancer(cfg.Placement, n, cfg.Seed),
+		flight:    newFlightGroup(),
+		telemetry: newTelemetry(n),
+	}
+
+	// One storage config for every topology, derived the same way
+	// resolver.New derives it from the policy.
+	storageCap := cfg.Policy.TTLCap
+	if cfg.Policy.CapAtServe {
+		storageCap = 0
+	}
+	ccfg := cache.Config{
+		MaxTTL:     storageCap,
+		MinTTL:     cfg.Policy.TTLFloor,
+		ServeStale: cfg.Policy.ServeStale,
+		Capacity:   cfg.CacheCapacity,
+	}
+	switch cfg.Topology {
+	case Shared:
+		f.store = cache.New(clock, ccfg)
+	case Sharded:
+		f.store = cache.NewSharded(clock, ccfg, cfg.shards())
+	}
+
+	for i := 0; i < n; i++ {
+		r := resolver.New(addr, cfg.Policy, net, clock, roots, cfg.Seed+int64(i)*7919)
+		r.LocalRootZone = cfg.LocalRoot
+		if f.store != nil {
+			r.Cache = f.store
+		} else if cfg.CacheCapacity > 0 {
+			r.Cache = cache.New(clock, ccfg)
+		}
+		f.frontends[i] = r
+		addr = addr.Next()
+	}
+	return f
+}
+
+// Frontends returns the farm size.
+func (f *Farm) Frontends() int { return len(f.frontends) }
+
+// Frontend exposes frontend i, for tests and telemetry.
+func (f *Farm) Frontend(i int) *resolver.Resolver { return f.frontends[i] }
+
+// Resolve answers (name, qtype) through the frontend the placement policy
+// picks, coalescing with any identical in-flight query when enabled.
+func (f *Farm) Resolve(name dnswire.Name, qtype dnswire.Type) (*resolver.Result, error) {
+	idx := f.balancer.pick(name)
+	if !f.cfg.Coalesce {
+		res, err := f.frontends[idx].Resolve(name, qtype)
+		return f.account(idx, res, err)
+	}
+	res, err, joined := f.flight.do(flightKey{name: name, qtype: qtype},
+		func() { f.telemetry.coalesced(idx) },
+		func() (*resolver.Result, error) { return f.frontends[idx].Resolve(name, qtype) })
+	if joined {
+		if res == nil {
+			return nil, err
+		}
+		// Followers get their own Result value (the message itself is
+		// shared, read-only by convention) marked as coalesced: they
+		// cost zero upstream queries.
+		cp := *res
+		cp.CacheHit = false
+		cp.Coalesced = true
+		cp.Queries = 0
+		cp.Timeouts = 0
+		return &cp, err
+	}
+	return f.account(idx, res, err)
+}
+
+// account books one completed (non-coalesced) resolution to frontend idx.
+func (f *Farm) account(idx int, res *resolver.Result, err error) (*resolver.Result, error) {
+	if res != nil {
+		f.telemetry.served(idx, &res.Trace)
+	}
+	return res, err
+}
+
+// CacheStats aggregates the cache counters of the whole fleet.
+func (f *Farm) CacheStats() cache.Stats {
+	if f.store != nil {
+		return f.store.Stats()
+	}
+	var out cache.Stats
+	for _, fe := range f.frontends {
+		st := fe.Cache.Stats()
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Evictions += st.Evictions
+		out.StaleHits += st.StaleHits
+		out.Entries += st.Entries
+	}
+	return out
+}
+
+var _ resolver.Lookuper = (*Farm)(nil)

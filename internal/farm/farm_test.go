@@ -1,0 +1,309 @@
+package farm
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"dnsttl/internal/authoritative"
+	"dnsttl/internal/cache"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/resolver"
+	"dnsttl/internal/simnet"
+	"dnsttl/internal/zone"
+)
+
+// world is the minimal two-level delegation the farm tests run against:
+// a root and an example.org authoritative carrying test names.
+type world struct {
+	clock   *simnet.VirtualClock
+	net     *simnet.Network
+	root    netip.Addr
+	orgAddr netip.Addr
+	orgSrv  *authoritative.Server
+}
+
+func newWorld(t testing.TB, names []string, ttl uint32) *world {
+	t.Helper()
+	w := &world{
+		clock:   simnet.NewVirtualClock(),
+		net:     simnet.NewNetwork(1),
+		root:    netip.MustParseAddr("192.88.30.1"),
+		orgAddr: netip.MustParseAddr("192.88.30.2"),
+	}
+	rootZone := zone.New(dnswire.Root)
+	rootZone.MustAdd(
+		dnswire.NewSOA(".", 86400, "a.root-servers.net.", "x.example.", 1, 1, 1, 1, 86400),
+		dnswire.NewNS(".", 518400, "a.root-servers.net"),
+		dnswire.NewA("a.root-servers.net", 518400, w.root.String()),
+		dnswire.NewNS("example.org", 172800, "ns1.example.org"),
+		dnswire.NewA("ns1.example.org", 172800, w.orgAddr.String()),
+	)
+	org := zone.New(dnswire.NewName("example.org"))
+	org.MustAdd(
+		dnswire.NewSOA("example.org", 3600, "ns1.example.org", "x.example.org", 1, 1, 1, 1, 60),
+		dnswire.NewNS("example.org", 86400, "ns1.example.org"),
+		dnswire.NewA("ns1.example.org", 86400, w.orgAddr.String()),
+	)
+	for i, n := range names {
+		org.MustAdd(dnswire.NewA(n, ttl, netip.AddrFrom4([4]byte{198, 18, 0, byte(i + 1)}).String()))
+	}
+	rootSrv := authoritative.NewServer(dnswire.NewName("a.root-servers.net"), w.clock)
+	rootSrv.AddZone(rootZone)
+	w.net.Attach(w.root, rootSrv)
+	w.orgSrv = authoritative.NewServer(dnswire.NewName("ns1.example.org"), w.clock)
+	w.orgSrv.AddZone(org)
+	w.net.Attach(w.orgAddr, w.orgSrv)
+	return w
+}
+
+func (w *world) farm(cfg Config) *Farm {
+	cfg.Policy = resolver.DefaultPolicy()
+	return New(cfg, netip.MustParseAddr("10.40.0.1"), w.net, w.clock, []netip.Addr{w.root})
+}
+
+var qname = dnswire.NewName("www.example.org")
+
+// TestPrivateTopologyFragments pins the paper's core farm finding at unit
+// scale: with private caches, a name queried through every frontend is
+// fetched from the authoritatives once per frontend; shared and sharded
+// topologies fetch it once for the whole fleet.
+func TestPrivateTopologyFragments(t *testing.T) {
+	const frontends = 4
+	for _, tc := range []struct {
+		topo       Topology
+		wantUp     uint64 // authoritative exchanges for the A record
+		wantHits   uint64
+		wantShared bool
+	}{
+		{topo: Private, wantUp: frontends, wantHits: 0},
+		{topo: Shared, wantUp: 1, wantHits: frontends - 1},
+		{topo: Sharded, wantUp: 1, wantHits: frontends - 1},
+	} {
+		t.Run(tc.topo.String(), func(t *testing.T) {
+			w := newWorld(t, []string{"www.example.org"}, 3600)
+			f := w.farm(Config{Frontends: frontends, Topology: tc.topo, Placement: PlaceRoundRobin, Seed: 7})
+			for i := 0; i < frontends; i++ {
+				res, err := f.Resolve(qname, dnswire.TypeA)
+				if err != nil || len(res.Msg.Answer) == 0 {
+					t.Fatalf("resolve %d: %v %v", i, err, res)
+				}
+			}
+			st := f.Stats()
+			if st.Total.Hits != tc.wantHits {
+				t.Errorf("%s: hits = %d, want %d\n%s", tc.topo, st.Total.Hits, tc.wantHits, st)
+			}
+			// Each cold iteration costs 2 exchanges (root referral + org
+			// answer); every fleet-wide A fetch beyond the first costs 2 more.
+			if st.Total.Upstream != 2*tc.wantUp {
+				t.Errorf("%s: upstream = %d, want %d\n%s", tc.topo, st.Total.Upstream, 2*tc.wantUp, st)
+			}
+		})
+	}
+}
+
+// TestShardedSpreadsKeys checks that the sharded topology actually spreads
+// distinct names over distinct shards while keeping each name's entries on
+// one shard.
+func TestShardedSpreadsKeys(t *testing.T) {
+	names := []string{"a.example.org", "b.example.org", "c.example.org", "d.example.org",
+		"e.example.org", "f.example.org", "g.example.org", "h.example.org"}
+	w := newWorld(t, names, 3600)
+	f := w.farm(Config{Frontends: 4, Topology: Sharded, Placement: PlaceHashQName, Seed: 7})
+	for _, n := range names {
+		if _, err := f.Resolve(dnswire.NewName(n), dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool, ok := f.store.(*cache.Sharded)
+	if !ok || pool.NumShards() != 4 {
+		t.Fatalf("store is not a 4-shard pool: %T", f.store)
+	}
+	occupied, total := 0, 0
+	for i := 0; i < 4; i++ {
+		l := pool.Shard(i).Len()
+		total += l
+		if l > 0 {
+			occupied++
+		}
+	}
+	if occupied < 2 {
+		t.Errorf("all keys landed on %d shard(s); want spread over ≥2", occupied)
+	}
+	if total != f.store.Len() {
+		t.Errorf("shard lens sum %d != Len %d", total, f.store.Len())
+	}
+}
+
+// TestCoalescingCollapsesConcurrentMisses is the acceptance-criteria
+// assertion: K concurrent identical cold queries trigger exactly one
+// upstream iteration; the other K-1 join the in-flight resolution.
+//
+// The scenario is made deterministic by gating the authoritative: the
+// leader blocks inside its org exchange until all followers have joined
+// the flight, so every follower is provably concurrent with it.
+func TestCoalescingCollapsesConcurrentMisses(t *testing.T) {
+	const clients = 8
+	w := newWorld(t, []string{"www.example.org"}, 3600)
+
+	release := make(chan struct{})
+	orgQueriesForName := 0
+	var gateMu sync.Mutex
+	inner := w.orgSrv
+	w.net.Attach(w.orgAddr, simnet.HandlerFunc(func(wire []byte, from netip.Addr) []byte {
+		if q, err := dnswire.Decode(wire); err == nil && len(q.Question) > 0 &&
+			q.Q().Name == qname && q.Q().Type == dnswire.TypeA {
+			gateMu.Lock()
+			orgQueriesForName++
+			gateMu.Unlock()
+			<-release
+		}
+		return inner.ServeDNS(wire, from)
+	}))
+
+	f := w.farm(Config{Frontends: 4, Topology: Private, Placement: PlaceRoundRobin, Coalesce: true, Seed: 7})
+	results := make([]*resolver.Result, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := f.Resolve(qname, dnswire.TypeA)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+
+	// Wait until the leader is blocked upstream and all K-1 followers have
+	// joined the flight, then let the single iteration finish.
+	key := flightKey{name: qname, qtype: dnswire.TypeA}
+	deadline := time.Now().Add(10 * time.Second)
+	for f.flight.inFlight(key) < clients-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d followers joined the flight", f.flight.inFlight(key), clients-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if orgQueriesForName != 1 {
+		t.Errorf("authoritative saw %d queries for %s, want 1 (coalesced)", orgQueriesForName, qname)
+	}
+	leaders, coalesced := 0, 0
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("client %d got no result", i)
+		}
+		if len(res.Msg.Answer) == 0 {
+			t.Errorf("client %d: empty answer", i)
+		}
+		if res.Coalesced {
+			coalesced++
+			if res.Queries != 0 {
+				t.Errorf("coalesced result charged %d upstream queries", res.Queries)
+			}
+		} else if res.Queries > 0 {
+			leaders++
+		}
+	}
+	if leaders != 1 || coalesced != clients-1 {
+		t.Errorf("leaders=%d coalesced=%d, want 1 and %d", leaders, coalesced, clients-1)
+	}
+	st := f.Stats()
+	if st.Total.Coalesced != clients-1 {
+		t.Errorf("telemetry coalesced = %d, want %d\n%s", st.Total.Coalesced, clients-1, st)
+	}
+	if st.Total.Upstream != 2 {
+		t.Errorf("telemetry upstream = %d, want 2 (root + org)\n%s", st.Total.Upstream, st)
+	}
+}
+
+// TestPlacementDeterminism: the same seed and stream produce the same
+// frontend picks, and the hash ring is stable under resize.
+func TestPlacementDeterminism(t *testing.T) {
+	mk := func() balancer { return newBalancer(PlaceRandom, 8, 42) }
+	a, b := mk(), mk()
+	for i := 0; i < 200; i++ {
+		if x, y := a.pick(qname), b.pick(qname); x != y {
+			t.Fatalf("random placement diverged at pick %d: %d vs %d", i, x, y)
+		}
+	}
+
+	rr := newBalancer(PlaceRoundRobin, 3, 0)
+	for i := 0; i < 9; i++ {
+		if got := rr.pick(qname); got != i%3 {
+			t.Fatalf("round-robin pick %d = %d", i, got)
+		}
+	}
+
+	// Consistent hash: resizing 8 → 9 frontends must leave most names in
+	// place (modulo hashing would move ~8/9 of them).
+	r8, r9 := newRing(8), newRing(9)
+	moved, total := 0, 2000
+	seen := make(map[int]int)
+	for i := 0; i < total; i++ {
+		n := dnswire.NewName("host" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676)) + ".example.org")
+		p8 := r8.pick(n)
+		seen[p8]++
+		if p8 != r9.pick(n) {
+			moved++
+		}
+	}
+	if frac := float64(moved) / float64(total); frac > 0.5 {
+		t.Errorf("resize moved %.0f%% of names; consistent hashing should move ~1/9", frac*100)
+	}
+	for fe := 0; fe < 8; fe++ {
+		if seen[fe] == 0 {
+			t.Errorf("frontend %d received no names from the ring", fe)
+		}
+	}
+	// A name always maps to the same frontend.
+	if r8.pick(qname) != r8.pick(qname) {
+		t.Error("ring pick is not stable")
+	}
+}
+
+// TestFarmCacheStatsAggregate: the fleet cache counters add up across
+// topologies.
+func TestFarmCacheStatsAggregate(t *testing.T) {
+	for _, topo := range []Topology{Private, Shared, Sharded} {
+		w := newWorld(t, []string{"www.example.org"}, 3600)
+		f := w.farm(Config{Frontends: 3, Topology: topo, Placement: PlaceRoundRobin, Seed: 7})
+		for i := 0; i < 6; i++ {
+			if _, err := f.Resolve(qname, dnswire.TypeA); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := f.CacheStats()
+		if st.Entries == 0 || st.Hits == 0 {
+			t.Errorf("%s: empty aggregate cache stats: %+v", topo, st)
+		}
+	}
+}
+
+// BenchmarkFarmResolve measures the farm hot path on a warm shared cache —
+// the configuration where every query contends on the same store.
+func BenchmarkFarmResolve(b *testing.B) {
+	for _, topo := range []Topology{Shared, Sharded} {
+		b.Run(topo.String(), func(b *testing.B) {
+			w := newWorld(b, []string{"www.example.org"}, 86400)
+			f := w.farm(Config{Frontends: 8, Topology: topo, Placement: PlaceRoundRobin, Coalesce: true, Seed: 7})
+			if _, err := f.Resolve(qname, dnswire.TypeA); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := f.Resolve(qname, dnswire.TypeA); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}

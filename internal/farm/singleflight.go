@@ -1,0 +1,76 @@
+package farm
+
+import (
+	"sync"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/resolver"
+)
+
+// flightKey identifies an in-flight resolution farm-wide. Coalescing is
+// deliberately keyed across frontends: the point is that N concurrent
+// clients asking for the same cold name cost the authoritatives one
+// iteration, whichever frontends the balancer spread them over.
+type flightKey struct {
+	name  dnswire.Name
+	qtype dnswire.Type
+}
+
+// flightCall is one leader resolution plus everyone waiting on it.
+type flightCall struct {
+	wg   sync.WaitGroup
+	res  *resolver.Result
+	err  error
+	dups int
+}
+
+// flightGroup is a singleflight group over resolutions, in the mold of
+// golang.org/x/sync/singleflight but stdlib-only and typed for Results.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[flightKey]*flightCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[flightKey]*flightCall)}
+}
+
+// do runs fn once per key at a time. The first caller (the leader) runs fn;
+// callers arriving before it finishes run onJoin and then wait, receiving
+// the leader's result with joined=true. onJoin fires at join time — before
+// the wait — so telemetry can observe coalescing while the leader is still
+// upstream.
+func (g *flightGroup) do(k flightKey, onJoin func(), fn func() (*resolver.Result, error)) (res *resolver.Result, err error, joined bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[k]; ok {
+		c.dups++
+		g.mu.Unlock()
+		onJoin()
+		c.wg.Wait()
+		return c.res, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[k] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, k)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.res, c.err, false
+}
+
+// inFlight reports how many callers are currently waiting on key k (the
+// leader excluded) — used by tests to synchronize deterministic coalescing
+// scenarios.
+func (g *flightGroup) inFlight(k flightKey) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[k]; ok {
+		return c.dups
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package farm
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"dnsttl/internal/resolver"
+)
+
+// FrontendStats is the telemetry of one frontend.
+type FrontendStats struct {
+	// Client is the number of client resolutions this frontend answered
+	// itself (coalesced followers are not counted here).
+	Client uint64
+	// Hits is how many of those were served from cache.
+	Hits uint64
+	// Stale counts answers served past their TTL (RFC 8767).
+	Stale uint64
+	// Coalesced counts resolutions placed on this frontend that instead
+	// joined an identical query already in flight somewhere in the farm.
+	Coalesced uint64
+	// Upstream is the authoritative-query-volume attribution: the number
+	// of upstream exchanges this frontend's resolutions cost, which is the
+	// load the paper's fragmentation analysis charges to the farm design.
+	Upstream uint64
+	// Timeouts is how many of those exchanges timed out.
+	Timeouts uint64
+}
+
+// Stats is the fleet view: one row per frontend plus the aggregate.
+type Stats struct {
+	PerFrontend []FrontendStats
+	Total       FrontendStats
+}
+
+// HitRate is the effective fleet cache-hit rate clients observe: hits plus
+// coalesced joins (neither costs an iteration) over all resolutions.
+func (s Stats) HitRate() float64 {
+	n := s.Total.Client + s.Total.Coalesced
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Total.Hits+s.Total.Coalesced) / float64(n)
+}
+
+// String renders the fleet table.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %10s %10s %8s %10s %10s %9s\n",
+		"frontend", "client", "hits", "stale", "coalesced", "upstream", "timeouts")
+	row := func(label string, f FrontendStats) {
+		fmt.Fprintf(&b, "%-9s %10d %10d %8d %10d %10d %9d\n",
+			label, f.Client, f.Hits, f.Stale, f.Coalesced, f.Upstream, f.Timeouts)
+	}
+	for i, f := range s.PerFrontend {
+		row(fmt.Sprintf("fe%d", i), f)
+	}
+	row("total", s.Total)
+	return b.String()
+}
+
+// feCounters is the lock-free mutable form of FrontendStats.
+type feCounters struct {
+	client, hits, stale, coalesced, upstream, timeouts atomic.Uint64
+}
+
+func (c *feCounters) snapshot() FrontendStats {
+	return FrontendStats{
+		Client:    c.client.Load(),
+		Hits:      c.hits.Load(),
+		Stale:     c.stale.Load(),
+		Coalesced: c.coalesced.Load(),
+		Upstream:  c.upstream.Load(),
+		Timeouts:  c.timeouts.Load(),
+	}
+}
+
+// telemetry holds the farm's per-frontend counters.
+type telemetry struct {
+	fe []feCounters
+}
+
+func newTelemetry(n int) *telemetry {
+	return &telemetry{fe: make([]feCounters, n)}
+}
+
+// served books one completed resolution's trace to frontend idx.
+func (t *telemetry) served(idx int, tr *resolver.Trace) {
+	c := &t.fe[idx]
+	c.client.Add(1)
+	if tr.CacheHit {
+		c.hits.Add(1)
+	}
+	if tr.Stale {
+		c.stale.Add(1)
+	}
+	c.upstream.Add(uint64(tr.Queries))
+	c.timeouts.Add(uint64(tr.Timeouts))
+}
+
+// coalesced books one join (called at join time, while the leader is still
+// in flight).
+func (t *telemetry) coalesced(idx int) {
+	t.fe[idx].coalesced.Add(1)
+}
+
+// Stats snapshots the fleet telemetry.
+func (f *Farm) Stats() Stats {
+	out := Stats{PerFrontend: make([]FrontendStats, len(f.telemetry.fe))}
+	for i := range f.telemetry.fe {
+		fe := f.telemetry.fe[i].snapshot()
+		out.PerFrontend[i] = fe
+		out.Total.Client += fe.Client
+		out.Total.Hits += fe.Hits
+		out.Total.Stale += fe.Stale
+		out.Total.Coalesced += fe.Coalesced
+		out.Total.Upstream += fe.Upstream
+		out.Total.Timeouts += fe.Timeouts
+	}
+	return out
+}

@@ -68,6 +68,10 @@ type Forwarder struct {
 	// Passthrough disables the local cache: the forwarder becomes a pure
 	// load-balancing frontend, as public-resolver front doors are.
 	Passthrough bool
+	// Policy supplies the TTL knobs the forwarder honors: the no-SOA
+	// negative-TTL fallback plus the cap/floor clamping it shares with the
+	// full resolver. The zero value means no cap, no floor, 60 s fallback.
+	Policy Policy
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -154,7 +158,7 @@ func (f *Forwarder) Resolve(name dnswire.Name, qtype dnswire.Type) (*Result, err
 	switch {
 	case resp.Header.RCode == dnswire.RCodeNXDomain:
 		f.Cache.Put(cache.Entry{
-			Key: cache.Key{Name: name, Type: qtype}, TTL: negTTLFrom(resp),
+			Key: cache.Key{Name: name, Type: qtype}, TTL: f.negTTLFrom(resp),
 			Stored: now, Cred: cache.CredAnswerNonAuth, Negative: cache.NegNXDomain,
 		})
 	case resp.Header.RCode != dnswire.RCodeNoError:
@@ -172,7 +176,7 @@ func (f *Forwarder) Resolve(name dnswire.Name, qtype dnswire.Type) (*Result, err
 		}
 	default:
 		f.Cache.Put(cache.Entry{
-			Key: cache.Key{Name: name, Type: qtype}, TTL: negTTLFrom(resp),
+			Key: cache.Key{Name: name, Type: qtype}, TTL: f.negTTLFrom(resp),
 			Stored: now, Cred: cache.CredAnswerNonAuth, Negative: cache.NegNoData,
 		})
 	}
@@ -186,16 +190,22 @@ func (f *Forwarder) cacheGet(name dnswire.Name, qtype dnswire.Type) (*cache.Entr
 	return f.Cache.Get(name, qtype)
 }
 
-func negTTLFrom(resp *dnswire.Message) uint32 {
+// negTTLFrom derives the RFC 2308 negative TTL: min(SOA TTL, SOA minimum)
+// when the response carries a SOA, the policy's fallback otherwise. Either
+// way the result is clamped by the policy cap/floor, exactly like positive
+// TTLs are.
+func (f *Forwarder) negTTLFrom(resp *dnswire.Message) uint32 {
+	ttl := f.Policy.negTTLFallback()
 	for _, rr := range resp.Authority {
 		if soa, ok := rr.Data.(dnswire.SOA); ok {
-			if rr.TTL < soa.Minimum {
-				return rr.TTL
+			ttl = soa.Minimum
+			if rr.TTL < ttl {
+				ttl = rr.TTL
 			}
-			return soa.Minimum
+			break
 		}
 	}
-	return 60
+	return f.Policy.clampTTL(ttl)
 }
 
 var (

@@ -142,3 +142,45 @@ func TestFarmFragmentation(t *testing.T) {
 		t.Errorf("expected mixed old/new answers from a fragmented farm, got %v", answers)
 	}
 }
+
+// TestForwarderNegTTLPolicy pins the no-SOA negative-caching path: the
+// fallback TTL comes from the policy (not a hard-coded constant) and is
+// clamped by the policy cap/floor exactly like positive TTLs.
+func TestForwarderNegTTLPolicy(t *testing.T) {
+	tn := newTestNet(t)
+	up := netip.MustParseAddr("172.30.0.1")
+	attachRecursive(tn, up, DefaultPolicy(), 1)
+	missing := dnswire.NewName("missing.cachetest.net")
+
+	// The recursive upstream's NXDomain reply carries no SOA, so the
+	// forwarder must use its policy fallback — here 900 s, capped to 600.
+	fw := NewForwarder(netip.MustParseAddr("192.168.1.1"), []netip.Addr{up}, tn.net, tn.clock, 2)
+	fw.Policy.NegTTLFallback = 900
+	fw.Policy.TTLCap = 600
+	if res, err := fw.Resolve(missing, dnswire.TypeA); err != nil || res.Msg.Header.RCode != dnswire.RCodeNXDomain {
+		t.Fatalf("resolve: %v", err)
+	}
+	if _, rem, ok := fw.Cache.Get(missing, dnswire.TypeA); !ok || rem != 600 {
+		t.Errorf("negative TTL = %d (ok=%v), want the 900 s fallback capped to 600", rem, ok)
+	}
+
+	// Zero-value policy keeps the old 60 s default.
+	fw2 := NewForwarder(netip.MustParseAddr("192.168.1.2"), []netip.Addr{up}, tn.net, tn.clock, 3)
+	if _, err := fw2.Resolve(missing, dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if _, rem, ok := fw2.Cache.Get(missing, dnswire.TypeA); !ok || rem != 60 {
+		t.Errorf("default negative TTL = %d (ok=%v), want 60", rem, ok)
+	}
+
+	// The floor raises tiny fallbacks, as it does for positive TTLs.
+	fw3 := NewForwarder(netip.MustParseAddr("192.168.1.3"), []netip.Addr{up}, tn.net, tn.clock, 4)
+	fw3.Policy.NegTTLFallback = 5
+	fw3.Policy.TTLFloor = 30
+	if _, err := fw3.Resolve(missing, dnswire.TypeA); err != nil {
+		t.Fatal(err)
+	}
+	if _, rem, ok := fw3.Cache.Get(missing, dnswire.TypeA); !ok || rem != 30 {
+		t.Errorf("floored negative TTL = %d (ok=%v), want 30", rem, ok)
+	}
+}

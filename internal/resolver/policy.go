@@ -84,6 +84,11 @@ type Policy struct {
 	// PrefetchThreshold is the remaining TTL, in seconds, below which a
 	// cache hit triggers a refresh. Zero with Prefetch set means 10 s.
 	PrefetchThreshold uint32
+	// NegTTLFallback is the negative-cache TTL used when a negative
+	// response carries no SOA to derive one from (RFC 2308 §5 leaves this
+	// implementation-defined). Zero means 60 s. Like every other TTL it is
+	// subject to TTLCap and TTLFloor.
+	NegTTLFallback uint32
 	// Timeout for one upstream exchange; zero means 5 s.
 	Timeout time.Duration
 	// MaxRetries is how many distinct servers are tried per step before
@@ -96,6 +101,24 @@ func (p Policy) prefetchThreshold() uint32 {
 		return 10
 	}
 	return p.PrefetchThreshold
+}
+
+func (p Policy) negTTLFallback() uint32 {
+	if p.NegTTLFallback == 0 {
+		return 60
+	}
+	return p.NegTTLFallback
+}
+
+// clampTTL applies the policy's cap and floor to a TTL.
+func (p Policy) clampTTL(ttl uint32) uint32 {
+	if p.TTLCap > 0 && ttl > p.TTLCap {
+		ttl = p.TTLCap
+	}
+	if ttl < p.TTLFloor {
+		ttl = p.TTLFloor
+	}
+	return ttl
 }
 
 func (p Policy) maxRetries() int {

@@ -21,6 +21,10 @@ type Trace struct {
 	CacheHit bool
 	// Stale is true when the answer was served past its TTL (RFC 8767).
 	Stale bool
+	// Coalesced is true when the resolution was answered by joining an
+	// identical query already in flight (farm singleflight) instead of by
+	// the cache or an upstream iteration of its own.
+	Coalesced bool
 	// Latency is the summed upstream RTT the resolution cost the client.
 	Latency time.Duration
 	// Queries is the number of upstream exchanges attempted.
@@ -55,8 +59,9 @@ type Resolver struct {
 	// Clock drives TTL decay.
 	Clock simnet.Clock
 	// Cache may be shared between resolvers (a resolver farm behind one
-	// frontend, as in §4.4).
-	Cache *cache.Cache
+	// frontend, as in §4.4). Any cache.Store works: a private *cache.Cache,
+	// one *cache.Cache shared by a whole farm, or a *cache.Sharded pool.
+	Cache cache.Store
 	// RootHints are the root server addresses.
 	RootHints []netip.Addr
 	// LocalRootZone is the RFC 7706 mirror used when Policy.LocalRoot is
@@ -360,6 +365,12 @@ func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dn
 }
 
 func (r *Resolver) serverOrder(servers []netip.Addr) []netip.Addr {
+	// Single-candidate lists (the common case deep in a delegation) need
+	// neither the shuffle nor the lock+copy it requires — this sits on the
+	// hot path of every exchange.
+	if len(servers) <= 1 {
+		return servers
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := append([]netip.Addr(nil), servers...)
@@ -368,15 +379,7 @@ func (r *Resolver) serverOrder(servers []netip.Addr) []netip.Addr {
 }
 
 // clampTTL applies the policy's cap and floor to a TTL reported to clients.
-func (r *Resolver) clampTTL(ttl uint32) uint32 {
-	if r.Policy.TTLCap > 0 && ttl > r.Policy.TTLCap {
-		ttl = r.Policy.TTLCap
-	}
-	if ttl < r.Policy.TTLFloor {
-		ttl = r.Policy.TTLFloor
-	}
-	return ttl
-}
+func (r *Resolver) clampTTL(ttl uint32) uint32 { return r.Policy.clampTTL(ttl) }
 
 func (r *Resolver) id() uint16 {
 	r.mu.Lock()
