@@ -276,7 +276,7 @@ func BenchmarkDNSSECValidationCentricity(b *testing.B) {
 func BenchmarkHitRateVsTTL(b *testing.B) {
 	var r *Report
 	for i := 0; i < b.N; i++ {
-		r = experiments.HitRateVsTTL(20000, 42)
+		r = experiments.HitRateVsTTL(20000, 1, 42)
 	}
 	reportMetrics(b, r,
 		"hit_rate_ttl_60", "model_ttl_60",
@@ -288,7 +288,7 @@ func BenchmarkHitRateVsTTL(b *testing.B) {
 func BenchmarkOutageSweep(b *testing.B) {
 	var r *Report
 	for i := 0; i < b.N; i++ {
-		r = experiments.OutageSweep(120, 42)
+		r = experiments.OutageSweep(120, 1, 42)
 	}
 	reportMetrics(b, r, "avail_ttl_60", "avail_ttl_3600", "avail_ttl_7200", "avail_stale_ttl_60")
 }
@@ -298,7 +298,7 @@ func BenchmarkOutageSweep(b *testing.B) {
 func BenchmarkPropagationSweep(b *testing.B) {
 	var r *Report
 	for i := 0; i < b.N; i++ {
-		r = experiments.PropagationSweep(120, 42)
+		r = experiments.PropagationSweep(120, 1, 42)
 	}
 	reportMetrics(b, r, "lag_min_ttl_60", "lag_min_ttl_600", "lag_min_ttl_3600")
 }
@@ -333,7 +333,7 @@ func BenchmarkParentChildComparison(b *testing.B) {
 func BenchmarkFarmFragmentation(b *testing.B) {
 	var r *Report
 	for i := 0; i < b.N; i++ {
-		r = experiments.FarmFragmentation(4000, 42)
+		r = experiments.FarmFragmentation(4000, 1, 42)
 	}
 	reportMetrics(b, r,
 		"growth_private_ttl60", "hot_growth_private_ttl60",

@@ -26,6 +26,7 @@ func main() {
 		probes     = flag.Int("probes", 0, "override vantage-point count")
 		crawlScale = flag.Float64("crawlscale", 0, "override crawl list scale")
 		seed       = flag.Int64("seed", 42, "random seed")
+		workers    = flag.Int("workers", 0, "worker pool for sweep experiments (0 = GOMAXPROCS, 1 = serial; results are identical)")
 		asJSON     = flag.Bool("json", false, "emit reports as JSON lines")
 		csvDir     = flag.String("csvdir", "", "also write each figure's CDF series as CSV into this directory")
 	)
@@ -75,6 +76,7 @@ func main() {
 		sc.CrawlScale = *crawlScale
 	}
 	sc.Seed = *seed
+	sc.Workers = *workers
 
 	if *experiment == "all" {
 		reports, err := dnsttl.RunAllExperiments(sc)

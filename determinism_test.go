@@ -34,6 +34,39 @@ func TestExperimentsDeterministic(t *testing.T) {
 	}
 }
 
+// TestParallelSweepDeterministic is the parallel half of the contract: for
+// every experiment with a fanned configuration grid, a serial run
+// (Workers=1) and a heavily parallel run (Workers=8) must produce
+// byte-identical reports. This holds because each sweep cell builds its own
+// seeded Network/Clock and simnet randomness is sharded per (src, dst) flow
+// with order-independent seeds.
+func TestParallelSweepDeterministic(t *testing.T) {
+	sc := QuickScale()
+	sc.Probes = 90
+	for _, id := range []string{"outage-sweep", "propagation", "hitrate", "farm-fragmentation"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serial, parallel := sc, sc
+			serial.Workers = 1
+			parallel.Workers = 8
+			a, err := RunExperiment(id, serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunExperiment(id, parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+				t.Errorf("metrics differ between serial and parallel runs:\n%v\nvs\n%v", a.Metrics, b.Metrics)
+			}
+			if a.Text != b.Text {
+				t.Errorf("rendered text differs between serial and parallel runs:\n%s\nvs\n%s", a.Text, b.Text)
+			}
+		})
+	}
+}
+
 // TestExperimentsSeedSensitive: different seeds actually change the
 // stochastic experiments (guarding against accidentally ignored seeds).
 func TestExperimentsSeedSensitive(t *testing.T) {

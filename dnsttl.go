@@ -71,6 +71,17 @@ func Encode(m *Message) ([]byte, error) { return dnswire.Encode(m) }
 // Decode parses a wire-format message.
 func Decode(wire []byte) (*Message, error) { return dnswire.Decode(wire) }
 
+// AppendEncode serializes a message, appending to dst; with a dst of
+// sufficient capacity the encode is allocation-free.
+func AppendEncode(dst []byte, m *Message) ([]byte, error) { return dnswire.AppendEncode(dst, m) }
+
+// Decoder is a reusable wire-format decoder that fills caller-owned
+// Messages without allocating in steady state.
+type Decoder = dnswire.Decoder
+
+// NewDecoder returns a ready Decoder.
+func NewDecoder() *Decoder { return dnswire.NewDecoder() }
+
 // Zone model.
 type (
 	// Zone is a zone of authority.

@@ -24,6 +24,11 @@ type ExperimentScale struct {
 	Resolvers int
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the worker pool for experiments whose configuration
+	// grids fan out in parallel (TTL points, outage steps, farm sizes).
+	// 0 means GOMAXPROCS; 1 forces the serial path. Results are identical
+	// at any setting.
+	Workers int
 }
 
 // QuickScale is suitable for tests and demos (seconds).
@@ -102,13 +107,13 @@ func RunExperiment(id string, sc ExperimentScale) (*Report, error) {
 	case "dnssec":
 		return experiments.ValidationCentricity(sc.Probes/2, sc.Seed), nil
 	case "hitrate":
-		return experiments.HitRateVsTTL(sc.Probes*40, sc.Seed), nil
+		return experiments.HitRateVsTTL(sc.Probes*40, sc.Workers, sc.Seed), nil
 	case "outage-sweep":
-		return experiments.OutageSweep(sc.Probes/3, sc.Seed), nil
+		return experiments.OutageSweep(sc.Probes/3, sc.Workers, sc.Seed), nil
 	case "propagation":
-		return experiments.PropagationSweep(sc.Probes/3, sc.Seed), nil
+		return experiments.PropagationSweep(sc.Probes/3, sc.Workers, sc.Seed), nil
 	case "farm-fragmentation":
-		return experiments.FarmFragmentation(sc.Probes*20, sc.Seed), nil
+		return experiments.FarmFragmentation(sc.Probes*20, sc.Workers, sc.Seed), nil
 	}
 	return nil, fmt.Errorf("dnsttl: unknown experiment %q (known: %v)", id, ExperimentIDs)
 }

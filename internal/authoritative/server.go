@@ -146,8 +146,16 @@ func (s *Server) ServeDNSTCP(wire []byte, from netip.Addr) []byte {
 // serveWire handles one query. limit 0 means "derive from the query's EDNS
 // advertisement"; otherwise it is the response size bound.
 func (s *Server) serveWire(wire []byte, from netip.Addr, limit int) []byte {
-	q, err := dnswire.Decode(wire)
-	if err != nil {
+	// The query message lives only for the duration of this call: Handle
+	// copies the question into the reply and retains nothing else, so both
+	// the decoder and the message go back to their pools on return.
+	d := dnswire.AcquireDecoder()
+	q := dnswire.AcquireMessage()
+	defer func() {
+		dnswire.ReleaseMessage(q)
+		dnswire.ReleaseDecoder(d)
+	}()
+	if err := d.Decode(wire, q); err != nil {
 		// Can't even parse the ID reliably; drop.
 		if len(wire) < 12 {
 			return nil

@@ -1,0 +1,29 @@
+package cache
+
+import (
+	"testing"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/simnet"
+)
+
+// TestGetHitAllocFree pins the cache-hit fast path to zero allocations: a
+// hit is a map lookup plus TTL arithmetic, nothing more.
+func TestGetHitAllocFree(t *testing.T) {
+	c := New(simnet.NewVirtualClock(), Config{})
+	n := dnswire.NewName("www.example.org")
+	c.Put(Entry{
+		Key:  Key{Name: n, Type: dnswire.TypeA},
+		RRs:  []dnswire.RR{dnswire.NewA(string(n), 300, "192.0.2.1")},
+		TTL:  300,
+		Cred: CredAnswerAuth,
+	})
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, _, ok := c.Get(n, dnswire.TypeA); !ok {
+			t.Fatal("miss")
+		}
+	})
+	if allocs >= 0.5 {
+		t.Errorf("cache hit: %.2f allocs/op, want 0", allocs)
+	}
+}

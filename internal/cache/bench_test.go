@@ -31,6 +31,43 @@ func BenchmarkPutGet(b *testing.B) {
 	}
 }
 
+// BenchmarkPurgeGlueOf measures glue purging with a full cache: the glueOf
+// index makes each purge proportional to the glue set (here 2 records), not
+// the 8k resident entries the pre-index implementation scanned.
+func BenchmarkPurgeGlueOf(b *testing.B) {
+	c := New(simnet.NewVirtualClock(), Config{})
+	for i := 0; i < 8192; i++ {
+		n := dnswire.NewName(fmt.Sprintf("host%05d.example.org", i))
+		c.Put(Entry{
+			Key:  Key{Name: n, Type: dnswire.TypeA},
+			RRs:  []dnswire.RR{dnswire.NewA(string(n), 300, "192.0.2.1")},
+			TTL:  300,
+			Cred: CredAnswerAuth,
+		})
+	}
+	owner := dnswire.NewName("frag.example.org")
+	glue := []dnswire.Name{
+		dnswire.NewName("ns1.frag.example.org"),
+		dnswire.NewName("ns2.frag.example.org"),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range glue {
+			c.Put(Entry{
+				Key:    Key{Name: g, Type: dnswire.TypeA},
+				RRs:    []dnswire.RR{dnswire.NewA(string(g), 300, "192.0.2.53")},
+				TTL:    300,
+				Cred:   CredAdditional,
+				GlueOf: owner,
+			})
+		}
+		if n := c.PurgeGlueOf(owner); n != len(glue) {
+			b.Fatalf("purged %d, want %d", n, len(glue))
+		}
+	}
+}
+
 // BenchmarkGetHit measures a pure cache hit.
 func BenchmarkGetHit(b *testing.B) {
 	c := New(simnet.NewVirtualClock(), Config{})

@@ -175,6 +175,10 @@ type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]*list.Element
 	order   *list.List // FIFO by Stored, for eviction
+	// glueIdx maps an NS owner name to the keys cached as glue for it, so
+	// PurgeGlueOf touches only the glue records instead of scanning the
+	// whole cache.
+	glueIdx map[dnswire.Name]map[Key]struct{}
 
 	hits, misses, evictions, staleHits uint64
 }
@@ -189,7 +193,36 @@ func New(clock simnet.Clock, cfg Config) *Cache {
 		cfg:     cfg,
 		entries: make(map[Key]*list.Element),
 		order:   list.New(),
+		glueIdx: make(map[dnswire.Name]map[Key]struct{}),
 	}
+}
+
+// removeLocked unlinks el from every internal structure.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*Entry)
+	c.order.Remove(el)
+	delete(c.entries, e.Key)
+	if e.GlueOf != "" {
+		if keys := c.glueIdx[e.GlueOf]; keys != nil {
+			delete(keys, e.Key)
+			if len(keys) == 0 {
+				delete(c.glueIdx, e.GlueOf)
+			}
+		}
+	}
+}
+
+// indexGlueLocked records e's key under its GlueOf owner, if any.
+func (c *Cache) indexGlueLocked(e *Entry) {
+	if e.GlueOf == "" {
+		return
+	}
+	keys := c.glueIdx[e.GlueOf]
+	if keys == nil {
+		keys = make(map[Key]struct{})
+		c.glueIdx[e.GlueOf] = keys
+	}
+	keys[e.Key] = struct{}{}
 }
 
 // Stats reports cache counters.
@@ -236,12 +269,12 @@ func (c *Cache) Put(e Entry) bool {
 		if _, fresh := old.Remaining(now); fresh && old.Cred > e.Cred {
 			return false
 		}
-		c.order.Remove(el)
-		delete(c.entries, e.Key)
+		c.removeLocked(el)
 	}
 	c.evictToFitLocked()
 	el := c.order.PushBack(&e)
 	c.entries[e.Key] = el
+	c.indexGlueLocked(&e)
 	return true
 }
 
@@ -251,9 +284,7 @@ func (c *Cache) evictToFitLocked() {
 		if front == nil {
 			return
 		}
-		old := front.Value.(*Entry)
-		c.order.Remove(front)
-		delete(c.entries, old.Key)
+		c.removeLocked(front)
 		c.evictions++
 	}
 }
@@ -317,8 +348,7 @@ func (c *Cache) Remove(name dnswire.Name, t dnswire.Type) bool {
 	if !ok {
 		return false
 	}
-	c.order.Remove(el)
-	delete(c.entries, k)
+	c.removeLocked(el)
 	return true
 }
 
@@ -328,14 +358,11 @@ func (c *Cache) Remove(name dnswire.Name, t dnswire.Type) bool {
 func (c *Cache) PurgeGlueOf(nsOwner dnswire.Name) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
-	for k, el := range c.entries {
-		e := el.Value.(*Entry)
-		if e.GlueOf == nsOwner {
-			c.order.Remove(el)
-			delete(c.entries, k)
-			n++
-		}
+	keys := c.glueIdx[nsOwner]
+	n := len(keys)
+	for k := range keys {
+		// removeLocked mutates the index set; entries lookup stays valid.
+		c.removeLocked(c.entries[k])
 	}
 	return n
 }
@@ -346,6 +373,7 @@ func (c *Cache) Flush() {
 	defer c.mu.Unlock()
 	c.entries = make(map[Key]*list.Element)
 	c.order.Init()
+	c.glueIdx = make(map[dnswire.Name]map[Key]struct{})
 }
 
 // Keys returns all cached keys (expired included), for inspection in tests

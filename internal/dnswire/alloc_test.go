@@ -1,0 +1,65 @@
+package dnswire
+
+import "testing"
+
+// These tests pin the codec's allocation budgets so hot-path regressions
+// fail loudly instead of silently eroding throughput. Thresholds carry a
+// little slack because sync.Pool interaction with GC can surface the odd
+// fractional allocation per run.
+
+// TestAppendEncodeAllocFree: encoding into a buffer of sufficient capacity
+// must not allocate.
+func TestAppendEncodeAllocFree(t *testing.T) {
+	m := benchMessage()
+	buf := make([]byte, 0, 1024)
+	allocs := testing.AllocsPerRun(200, func() {
+		out, err := AppendEncode(buf[:0], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	})
+	if allocs >= 0.5 {
+		t.Errorf("AppendEncode into sized buffer: %.2f allocs/op, want 0", allocs)
+	}
+}
+
+// TestEncodeAllocBudget: the convenience Encode pays exactly one allocation
+// — the output buffer.
+func TestEncodeAllocBudget(t *testing.T) {
+	m := benchMessage()
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := Encode(m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1.5 {
+		t.Errorf("Encode: %.2f allocs/op, want <= 1", allocs)
+	}
+}
+
+// TestDecoderReuseAllocFree: a warm Decoder refilling a reused Message must
+// not allocate — every name and boxed RData value is already interned and
+// the section slices have capacity.
+func TestDecoderReuseAllocFree(t *testing.T) {
+	wire, err := Encode(benchMessage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDecoder()
+	var m Message
+	// Warm the intern tables and section slices.
+	for i := 0; i < 3; i++ {
+		if err := d.Decode(wire, &m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := d.Decode(wire, &m); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs >= 0.5 {
+		t.Errorf("warm Decoder.Decode: %.2f allocs/op, want 0", allocs)
+	}
+}

@@ -45,6 +45,38 @@ func BenchmarkDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkAppendEncode measures the zero-allocation encode path: appending
+// into a reused buffer of sufficient capacity.
+func BenchmarkAppendEncode(b *testing.B) {
+	m := benchMessage()
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := AppendEncode(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+// BenchmarkDecoderReuse measures the steady-state decode path: one Decoder
+// with warm intern tables filling a reused Message.
+func BenchmarkDecoderReuse(b *testing.B) {
+	wire, err := Encode(benchMessage())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := NewDecoder()
+	var m Message
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := d.Decode(wire, &m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkNameCanonicalize measures the hot Name constructor.
 func BenchmarkNameCanonicalize(b *testing.B) {
 	b.ReportAllocs()

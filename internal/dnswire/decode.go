@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
-	"strings"
+	"sync"
 )
 
 // Decoding errors.
@@ -15,23 +15,93 @@ var (
 	ErrTrailingGarbage = errors.New("dnswire: bytes remain after final record")
 )
 
-type decoder struct {
-	wire []byte
-	off  int
+// maxInterned bounds the decoder's name and RData intern tables; past this
+// the tables are cleared rather than growing without bound.
+const maxInterned = 8192
+
+// boxKey identifies an interned RData value. One key type covers the hot
+// record families: addresses (A/AAAA), name-valued RData (NS/CNAME/PTR) and
+// MX (name + preference).
+type boxKey struct {
+	t    Type
+	name Name
+	pref uint16
+	addr netip.Addr
 }
 
-// Decode parses a wire-format DNS message.
+// Decoder parses wire-format messages into caller-owned Messages, reusing
+// the target's RR slices and interning names and hot RData values so that a
+// steady-state decode allocates nothing. A Decoder is not safe for
+// concurrent use; use AcquireDecoder/ReleaseDecoder for a pooled one.
+type Decoder struct {
+	wire    []byte
+	off     int
+	scratch []byte // name assembly buffer
+
+	// names interns decoded names by raw wire spelling (case included);
+	// boxes interns the interface-boxed RData values whose boxing would
+	// otherwise allocate on every record.
+	names map[string]Name
+	boxes map[boxKey]RData
+	opts  map[OPT]RData
+}
+
+// NewDecoder returns a ready Decoder with empty intern tables.
+func NewDecoder() *Decoder {
+	return &Decoder{
+		names: make(map[string]Name),
+		boxes: make(map[boxKey]RData),
+		opts:  make(map[OPT]RData),
+	}
+}
+
+var decoderPool = sync.Pool{New: func() any { return NewDecoder() }}
+
+// AcquireDecoder returns a pooled Decoder. Pooled decoders keep their warm
+// intern tables across uses, which is what makes the server's per-query
+// decode path allocation-free.
+func AcquireDecoder() *Decoder { return decoderPool.Get().(*Decoder) }
+
+// ReleaseDecoder returns d to the pool. The caller must not use d after.
+func ReleaseDecoder(d *Decoder) {
+	d.wire = nil
+	decoderPool.Put(d)
+}
+
+// Decode parses a wire-format DNS message into a fresh Message.
 func Decode(wire []byte) (*Message, error) {
-	d := &decoder{wire: wire}
+	d := AcquireDecoder()
 	m := &Message{}
-	qd, an, ns, ar, err := d.readHeader(&m.Header)
+	err := d.Decode(wire, m)
+	ReleaseDecoder(d)
 	if err != nil {
 		return nil, err
+	}
+	return m, nil
+}
+
+// Decode parses wire into m, resetting m first and reusing its section
+// slices. The decoded Message shares no state with the Decoder other than
+// immutable interned values, so m stays valid after the Decoder is released
+// or reused.
+func (d *Decoder) Decode(wire []byte, m *Message) error {
+	d.wire, d.off = wire, 0
+	if len(d.names) > maxInterned {
+		clear(d.names)
+	}
+	if len(d.boxes) > maxInterned {
+		clear(d.boxes)
+	}
+	m.Reset()
+
+	qd, an, ns, ar, err := d.readHeader(&m.Header)
+	if err != nil {
+		return err
 	}
 	for i := 0; i < qd; i++ {
 		q, err := d.readQuestion()
 		if err != nil {
-			return nil, fmt.Errorf("question %d: %w", i, err)
+			return fmt.Errorf("question %d: %w", i, err)
 		}
 		m.Question = append(m.Question, q)
 	}
@@ -52,32 +122,32 @@ func Decode(wire []byte) (*Message, error) {
 		return nil
 	}
 	if err := read(an, &m.Answer, "answer"); err != nil {
-		return nil, err
+		return err
 	}
 	if err := read(ns, &m.Authority, "authority"); err != nil {
-		return nil, err
+		return err
 	}
 	if err := read(ar, &m.Additional, "additional"); err != nil {
-		return nil, err
+		return err
 	}
 	if opt != nil {
 		// Fold the extended RCode bits in (RFC 6891 §6.1.3).
 		m.Header.RCode |= RCode(opt.ExtendedRCode) << 4
 	}
 	if d.off != len(d.wire) {
-		return nil, ErrTrailingGarbage
+		return ErrTrailingGarbage
 	}
-	return m, nil
+	return nil
 }
 
-func (d *decoder) need(n int) error {
+func (d *Decoder) need(n int) error {
 	if d.off+n > len(d.wire) {
 		return ErrShortMessage
 	}
 	return nil
 }
 
-func (d *decoder) readU8() (uint8, error) {
+func (d *Decoder) readU8() (uint8, error) {
 	if err := d.need(1); err != nil {
 		return 0, err
 	}
@@ -86,7 +156,7 @@ func (d *decoder) readU8() (uint8, error) {
 	return v, nil
 }
 
-func (d *decoder) readU16() (uint16, error) {
+func (d *Decoder) readU16() (uint16, error) {
 	if err := d.need(2); err != nil {
 		return 0, err
 	}
@@ -95,7 +165,7 @@ func (d *decoder) readU16() (uint16, error) {
 	return v, nil
 }
 
-func (d *decoder) readU32() (uint32, error) {
+func (d *Decoder) readU32() (uint32, error) {
 	if err := d.need(4); err != nil {
 		return 0, err
 	}
@@ -104,7 +174,7 @@ func (d *decoder) readU32() (uint32, error) {
 	return v, nil
 }
 
-func (d *decoder) readHeader(h *Header) (qd, an, ns, ar int, err error) {
+func (d *Decoder) readHeader(h *Header) (qd, an, ns, ar int, err error) {
 	if err = d.need(12); err != nil {
 		return
 	}
@@ -127,9 +197,22 @@ func (d *decoder) readHeader(h *Header) (qd, an, ns, ar int, err error) {
 	return
 }
 
+// internName canonicalizes the name assembled in d.scratch, reusing a
+// previously decoded Name when the same spelling has been seen. The map
+// lookup with a string([]byte) key compiles to a no-allocation access; only
+// first sightings pay for the string copies.
+func (d *Decoder) internName() Name {
+	if n, ok := d.names[string(d.scratch)]; ok {
+		return n
+	}
+	n := NewName(string(d.scratch))
+	d.names[string(d.scratch)] = n
+	return n
+}
+
 // readName reads a possibly-compressed name starting at the current offset.
-func (d *decoder) readName() (Name, error) {
-	name, next, err := readNameAt(d.wire, d.off)
+func (d *Decoder) readName() (Name, error) {
+	name, next, err := d.readNameAt(d.off)
 	if err != nil {
 		return "", err
 	}
@@ -137,11 +220,12 @@ func (d *decoder) readName() (Name, error) {
 	return name, nil
 }
 
-// readNameAt reads a name at offset off in wire, following compression
-// pointers, and returns the name plus the offset just past the name's bytes
-// at the top level (pointers are not followed for the return offset).
-func readNameAt(wire []byte, off int) (Name, int, error) {
-	var sb strings.Builder
+// readNameAt reads a name at offset off, following compression pointers,
+// and returns the name plus the offset just past the name's bytes at the
+// top level (pointers are not followed for the return offset).
+func (d *Decoder) readNameAt(off int) (Name, int, error) {
+	wire := d.wire
+	d.scratch = d.scratch[:0]
 	ret := -1 // offset to return to after first pointer
 	hops := 0
 	for {
@@ -154,10 +238,10 @@ func readNameAt(wire []byte, off int) (Name, int, error) {
 			if ret < 0 {
 				ret = off + 1
 			}
-			if sb.Len() == 0 {
+			if len(d.scratch) == 0 {
 				return Root, ret, nil
 			}
-			return NewName(sb.String()), ret, nil
+			return d.internName(), ret, nil
 		case b&0xC0 == 0xC0:
 			if off+1 >= len(wire) {
 				return "", 0, ErrShortMessage
@@ -180,14 +264,14 @@ func readNameAt(wire []byte, off int) (Name, int, error) {
 			if off+1+n > len(wire) {
 				return "", 0, ErrShortMessage
 			}
-			sb.Write(wire[off+1 : off+1+n])
-			sb.WriteByte('.')
+			d.scratch = append(d.scratch, wire[off+1:off+1+n]...)
+			d.scratch = append(d.scratch, '.')
 			off += 1 + n
 		}
 	}
 }
 
-func (d *decoder) readQuestion() (Question, error) {
+func (d *Decoder) readQuestion() (Question, error) {
 	name, err := d.readName()
 	if err != nil {
 		return Question{}, err
@@ -203,7 +287,37 @@ func (d *decoder) readQuestion() (Question, error) {
 	return Question{Name: name, Type: Type(t), Class: Class(c)}, nil
 }
 
-func (d *decoder) readRR() (RR, error) {
+// box returns the interned interface value for k, constructing it with mk
+// on first sighting. Boxing a concrete RData value into `any` heap-allocates
+// in Go; interning makes repeat decodes of the same records free.
+func (d *Decoder) box(k boxKey, mk func(boxKey) RData) RData {
+	if v, ok := d.boxes[k]; ok {
+		return v
+	}
+	v := mk(k)
+	d.boxes[k] = v
+	return v
+}
+
+// The constructors are named functions (not closures) so the hit path does
+// not allocate a closure per record.
+func mkA(k boxKey) RData     { return A{Addr: k.addr} }
+func mkAAAA(k boxKey) RData  { return AAAA{Addr: k.addr} }
+func mkNS(k boxKey) RData    { return NS{Host: k.name} }
+func mkCNAME(k boxKey) RData { return CNAME{Target: k.name} }
+func mkPTR(k boxKey) RData   { return PTR{Target: k.name} }
+func mkMX(k boxKey) RData    { return MX{Preference: k.pref, Host: k.name} }
+
+func (d *Decoder) boxOPT(o OPT) RData {
+	if v, ok := d.opts[o]; ok {
+		return v
+	}
+	v := RData(o)
+	d.opts[o] = v
+	return v
+}
+
+func (d *Decoder) readRR() (RR, error) {
 	name, err := d.readName()
 	if err != nil {
 		return RR{}, err
@@ -231,12 +345,12 @@ func (d *decoder) readRR() (RR, error) {
 	end := d.off + int(rdlen)
 	if rr.Type == TypeOPT {
 		// RFC 6891: class is the UDP size, TTL carries flags.
-		rr.Data = OPT{
+		rr.Data = d.boxOPT(OPT{
 			UDPSize:       c16,
 			ExtendedRCode: uint8(ttl >> 24),
 			Version:       uint8(ttl >> 16),
 			DO:            ttl&(1<<15) != 0,
-		}
+		})
 		d.off = end // option TLVs are skipped
 		return rr, nil
 	}
@@ -249,7 +363,7 @@ func (d *decoder) readRR() (RR, error) {
 	return rr, nil
 }
 
-func (d *decoder) readRData(rr *RR, end int) error {
+func (d *Decoder) readRData(rr *RR, end int) error {
 	switch rr.Type {
 	case TypeA:
 		if end-d.off != 4 {
@@ -258,7 +372,7 @@ func (d *decoder) readRData(rr *RR, end int) error {
 		var b [4]byte
 		copy(b[:], d.wire[d.off:end])
 		d.off = end
-		rr.Data = A{Addr: netip.AddrFrom4(b)}
+		rr.Data = d.box(boxKey{t: TypeA, addr: netip.AddrFrom4(b)}, mkA)
 	case TypeAAAA:
 		if end-d.off != 16 {
 			return fmt.Errorf("dnswire: AAAA RDATA must be 16 bytes, got %d", end-d.off)
@@ -266,25 +380,25 @@ func (d *decoder) readRData(rr *RR, end int) error {
 		var b [16]byte
 		copy(b[:], d.wire[d.off:end])
 		d.off = end
-		rr.Data = AAAA{Addr: netip.AddrFrom16(b)}
+		rr.Data = d.box(boxKey{t: TypeAAAA, addr: netip.AddrFrom16(b)}, mkAAAA)
 	case TypeNS:
 		host, err := d.readName()
 		if err != nil {
 			return err
 		}
-		rr.Data = NS{Host: host}
+		rr.Data = d.box(boxKey{t: TypeNS, name: host}, mkNS)
 	case TypeCNAME:
 		target, err := d.readName()
 		if err != nil {
 			return err
 		}
-		rr.Data = CNAME{Target: target}
+		rr.Data = d.box(boxKey{t: TypeCNAME, name: target}, mkCNAME)
 	case TypePTR:
 		target, err := d.readName()
 		if err != nil {
 			return err
 		}
-		rr.Data = PTR{Target: target}
+		rr.Data = d.box(boxKey{t: TypePTR, name: target}, mkPTR)
 	case TypeMX:
 		pref, err := d.readU16()
 		if err != nil {
@@ -294,7 +408,7 @@ func (d *decoder) readRData(rr *RR, end int) error {
 		if err != nil {
 			return err
 		}
-		rr.Data = MX{Preference: pref, Host: host}
+		rr.Data = d.box(boxKey{t: TypeMX, name: host, pref: pref}, mkMX)
 	case TypeTXT:
 		var txt TXT
 		for d.off < end {

@@ -3,38 +3,150 @@ package dnswire
 import (
 	"encoding/binary"
 	"fmt"
-	"strings"
+	"sync"
 )
 
+// Compression-table geometry. A referral-sized message registers a couple
+// dozen distinct name suffixes; 128 open-addressed slots with a fill bound
+// keeps probes short. When the table fills, further suffixes simply go
+// uncompressed — output stays valid, deterministically.
+const (
+	compSlots   = 128
+	compMaxFill = 96
+)
+
+// compEntry is one slot of the open-addressed compression table. gen makes
+// reset O(1): a slot is live only when its generation matches the encoder's.
+type compEntry struct {
+	gen    uint32
+	off    uint16
+	suffix Name
+}
+
 // encoder serializes a message with RFC 1035 §4.1.4 name compression.
+// Encoders are pooled; the per-Encode map of the original implementation is
+// replaced by the fixed open-addressed table so the hot path allocates
+// nothing beyond the output buffer.
 type encoder struct {
 	buf []byte
-	// offsets maps a fully-qualified name (as stored in Name) to the wire
-	// offset of its first occurrence, for compression pointers.
-	offsets map[Name]int
+	// base is the offset of the message's first byte in buf: AppendEncode
+	// targets may already carry bytes, and compression pointers are
+	// relative to the message start.
+	base int
+	// qEnd is the offset just past the question section, for in-place
+	// truncation in EncodeWithLimit.
+	qEnd int
+
+	gen     uint32
+	tabFill int
+	tab     [compSlots]compEntry
+}
+
+var encoderPool = sync.Pool{New: func() any { return new(encoder) }}
+
+func (e *encoder) reset(dst []byte) {
+	e.buf = dst
+	e.base = len(dst)
+	e.qEnd = 0
+	e.tabFill = 0
+	e.gen++
+	if e.gen == 0 { // generation wrapped: stale slots could alias, clear
+		e.tab = [compSlots]compEntry{}
+		e.gen = 1
+	}
+}
+
+// compHash is FNV-1a over the suffix bytes. It is a fixed function (not a
+// seeded hash) so encoded output — including which suffixes win table slots
+// — is byte-identical across processes, which experiment determinism
+// depends on.
+func compHash(s Name) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// lookup returns the registered offset of suffix, if any.
+func (e *encoder) lookup(suffix Name) (uint16, bool) {
+	i := compHash(suffix) % compSlots
+	for {
+		s := &e.tab[i]
+		if s.gen != e.gen {
+			return 0, false
+		}
+		if s.suffix == suffix {
+			return s.off, true
+		}
+		i = (i + 1) % compSlots
+	}
+}
+
+// insert registers suffix at off; full tables drop the registration.
+func (e *encoder) insert(suffix Name, off uint16) {
+	if e.tabFill >= compMaxFill {
+		return
+	}
+	i := compHash(suffix) % compSlots
+	for e.tab[i].gen == e.gen {
+		if e.tab[i].suffix == suffix {
+			return
+		}
+		i = (i + 1) % compSlots
+	}
+	e.tab[i] = compEntry{gen: e.gen, off: off, suffix: suffix}
+	e.tabFill++
 }
 
 // Encode serializes m to wire format. It never truncates; callers enforcing
 // UDP size limits should use EncodeWithLimit.
 func Encode(m *Message) ([]byte, error) {
-	e := &encoder{buf: make([]byte, 0, 512), offsets: make(map[Name]int)}
-	return e.encode(m)
+	// Pre-size for a typical referral-sized message so the common case is a
+	// single allocation instead of a chain of append growths.
+	return AppendEncode(make([]byte, 0, 512), m)
+}
+
+// AppendEncode serializes m, appending to dst (which may be nil), and
+// returns the extended slice. With a dst of sufficient capacity the encode
+// is allocation-free; this is the hot-path entry point the server and
+// resolver query builders use with pooled buffers.
+func AppendEncode(dst []byte, m *Message) ([]byte, error) {
+	e := encoderPool.Get().(*encoder)
+	e.reset(dst)
+	out, err := e.encode(m)
+	e.buf = nil // do not retain the caller's buffer in the pool
+	encoderPool.Put(e)
+	return out, err
 }
 
 // EncodeWithLimit serializes m, and if the result exceeds limit bytes it
 // returns a truncated message: header with TC set, question retained, all RR
-// sections dropped — the conservative behavior of most servers.
+// sections dropped — the conservative behavior of most servers. Truncation
+// patches the already-encoded bytes in place rather than encoding twice.
 func EncodeWithLimit(m *Message, limit int) ([]byte, error) {
-	wire, err := Encode(m)
+	e := encoderPool.Get().(*encoder)
+	e.reset(nil)
+	wire, err := e.encode(m)
+	qEnd := e.qEnd
+	e.buf = nil
+	encoderPool.Put(e)
 	if err != nil {
 		return nil, err
 	}
 	if limit <= 0 || len(wire) <= limit {
 		return wire, nil
 	}
-	tm := &Message{Header: m.Header, Question: m.Question}
-	tm.Header.TC = true
-	return Encode(tm)
+	// Drop every RR section: cut at the end of the question, set TC
+	// (bit 9 of the flags word at bytes 2-3), zero AN/NS/AR counts.
+	// Question-name compression only ever points into the question itself,
+	// so the retained prefix stays self-contained.
+	wire = wire[:qEnd]
+	wire[2] |= 0x02
+	for i := 6; i < 12; i++ {
+		wire[i] = 0
+	}
+	return wire, nil
 }
 
 func (e *encoder) encode(m *Message) ([]byte, error) {
@@ -46,6 +158,7 @@ func (e *encoder) encode(m *Message) ([]byte, error) {
 		e.writeU16(uint16(q.Type))
 		e.writeU16(uint16(q.Class))
 	}
+	e.qEnd = len(e.buf) - e.base
 	for _, sec := range [][]RR{m.Answer, m.Authority, m.Additional} {
 		for _, rr := range sec {
 			if err := e.writeRR(rr); err != nil {
@@ -110,14 +223,17 @@ func (e *encoder) writeName(name Name) error {
 	pos := 0
 	for pos < len(s) {
 		suffix := Name(s[pos:])
-		if off, ok := e.offsets[suffix]; ok && off < 0x4000 {
-			e.writeU16(0xC000 | uint16(off))
+		if off, ok := e.lookup(suffix); ok {
+			e.writeU16(0xC000 | off)
 			return nil
 		}
-		if len(e.buf) < 0x4000 {
-			e.offsets[suffix] = len(e.buf)
+		if off := len(e.buf) - e.base; off < 0x4000 {
+			e.insert(suffix, uint16(off))
 		}
-		end := strings.IndexByte(s[pos:], '.') + pos
+		end := pos
+		for s[end] != '.' {
+			end++
+		}
 		label := s[pos:end]
 		e.writeU8(uint8(len(label)))
 		e.buf = append(e.buf, label...)
@@ -246,7 +362,11 @@ func (e *encoder) writeRData(rr RR) error {
 }
 
 func (e *encoder) writeNameUncompressed(name Name) {
-	for _, label := range name.Labels() {
+	for it := name.Iter(); ; {
+		label, ok := it.Next()
+		if !ok {
+			break
+		}
 		e.writeU8(uint8(len(label)))
 		e.buf = append(e.buf, label...)
 	}

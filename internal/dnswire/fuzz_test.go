@@ -31,8 +31,68 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0xC0, 0x0C})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
 
+	// Compression-pointer edge cases. A pointer-to-pointer chain: the
+	// question name at offset 12 is a pointer to offset 14, itself a pointer
+	// forward — the decoder must reject the forward hop, not loop.
+	f.Add([]byte{
+		0, 9, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, // header, QD=1
+		0xC0, 14, // question name: pointer to offset 14
+		0xC0, 16, // offset 14: pointer to offset 16 (forward → reject)
+		0, // offset 16: root
+		0, 1, 0, 1,
+	})
+	// A legitimate two-hop chain: name at 21 points to 16 ("b." + pointer),
+	// which in turn points to 12 ("a.example.org.-ish" label data).
+	f.Add([]byte{
+		0, 9, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, // header, QD=2
+		1, 'a', 0, 0x00, // offset 12: "a." then pad
+		1, 'b', 0xC0, 12, // offset 16: "b.a." via pointer
+		0, 1, // (type/class bytes for fuzz variety)
+		0xC0, 16, // offset 22: pointer → pointer chain
+		0, 1, 0, 1,
+	})
+	// A pointer whose target is the maximum encodable offset 0x3FFF: an
+	// answer RR padded past 16 KiB with a zero byte (root name) at exactly
+	// 0x3FFF, and a second RR whose owner is the pointer 0xFF,0xFF.
+	big := make([]byte, 0, 0x4000+32)
+	big = append(big,
+		0, 9, 0x80, 0, 0, 0, 0, 2, 0, 0, 0, 0, // header, QR, AN=2
+		0,           // RR1 owner: root
+		0, 16, 0, 1, // TXT IN
+		0, 0, 0, 60,
+	)
+	pad := 0x3FFF + 1 - (len(big) + 2) // RDATA spans through offset 0x3FFF
+	big = append(big, byte(pad>>8), byte(pad))
+	for len(big) <= 0x3FFF {
+		big = append(big, 0) // TXT of empty strings; byte at 0x3FFF is 0x00
+	}
+	big = append(big,
+		0xFF, 0xFF, // RR2 owner: pointer to 0x3FFF (a root byte)
+		0, 1, 0, 1, // A IN
+		0, 0, 0, 60,
+		0, 4, 192, 0, 2, 1,
+	)
+	f.Add(big)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
+		// Whatever the one-shot path decided, the reusable path must agree:
+		// a warm Decoder filling a recycled Message is the production decode
+		// route and may not diverge from a fresh Decode.
+		d := NewDecoder()
+		var reused Message
+		for i := 0; i < 2; i++ {
+			err2 := d.Decode(data, &reused)
+			if (err == nil) != (err2 == nil) {
+				t.Fatalf("Decoder reuse pass %d disagrees with Decode: %v vs %v", i, err, err2)
+			}
+		}
+		if err == nil {
+			if len(reused.Answer) != len(m.Answer) || len(reused.Question) != len(m.Question) ||
+				len(reused.Authority) != len(m.Authority) || len(reused.Additional) != len(m.Additional) {
+				t.Fatalf("Decoder reuse changed message shape")
+			}
+		}
 		if err != nil {
 			return
 		}

@@ -3,6 +3,7 @@ package dnswire
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Header is the fixed 12-byte DNS message header (RFC 1035 §4.1.1), with
@@ -69,6 +70,29 @@ func (m *Message) Reply() *Message {
 		},
 		Question: append([]Question(nil), m.Question...),
 	}
+}
+
+// Reset clears m for reuse, keeping the section slices' capacity so a
+// pooled Message can absorb a Decoder.Decode without reallocating.
+func (m *Message) Reset() {
+	m.Header = Header{}
+	m.Question = m.Question[:0]
+	m.Answer = m.Answer[:0]
+	m.Authority = m.Authority[:0]
+	m.Additional = m.Additional[:0]
+}
+
+var messagePool = sync.Pool{New: func() any { return new(Message) }}
+
+// AcquireMessage returns a pooled, reset Message for short-lived use (e.g.
+// decoding a query that is fully consumed before the reply is built).
+// Callers must not retain any reference into it past ReleaseMessage.
+func AcquireMessage() *Message { return messagePool.Get().(*Message) }
+
+// ReleaseMessage returns m to the pool.
+func ReleaseMessage(m *Message) {
+	m.Reset()
+	messagePool.Put(m)
 }
 
 // Q returns the first question, or a zero Question if there is none.

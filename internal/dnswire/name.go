@@ -52,9 +52,14 @@ func (n Name) Valid() error {
 		return nil
 	}
 	// Wire length: one length octet per label plus label bytes, plus the
-	// terminating zero octet.
+	// terminating zero octet. Labels are walked with the allocation-free
+	// iterator: Valid sits on the encoder's per-name hot path.
 	wire := 1
-	for _, label := range n.Labels() {
+	for it := n.Iter(); ; {
+		label, ok := it.Next()
+		if !ok {
+			break
+		}
 		if label == "" {
 			return ErrEmptyLabel
 		}
@@ -73,12 +78,46 @@ func (n Name) Valid() error {
 func (n Name) IsRoot() bool { return n == Root || n == "" }
 
 // Labels returns the name's labels, most-specific first, excluding the root.
-// "www.example.org." → ["www", "example", "org"].
+// "www.example.org." → ["www", "example", "org"]. Each call allocates the
+// slice; hot paths should use Iter instead.
 func (n Name) Labels() []string {
 	if n.IsRoot() {
 		return nil
 	}
 	return strings.Split(strings.TrimSuffix(string(n), "."), ".")
+}
+
+// LabelIter walks a name's labels most-specific first without allocating.
+// Obtain one with Name.Iter; each Next returns a zero-copy substring of the
+// name.
+type LabelIter struct {
+	s   string
+	pos int
+}
+
+// Iter returns an allocation-free iterator over n's labels, yielding the
+// same sequence as Labels (empty labels included, so malformed names can be
+// detected by callers).
+func (n Name) Iter() LabelIter {
+	if n.IsRoot() {
+		return LabelIter{pos: 1}
+	}
+	return LabelIter{s: strings.TrimSuffix(string(n), ".")}
+}
+
+// Next returns the next label and whether one was available.
+func (it *LabelIter) Next() (string, bool) {
+	if it.pos > len(it.s) {
+		return "", false
+	}
+	if i := strings.IndexByte(it.s[it.pos:], '.'); i >= 0 {
+		label := it.s[it.pos : it.pos+i]
+		it.pos += i + 1
+		return label, true
+	}
+	label := it.s[it.pos:]
+	it.pos = len(it.s) + 1
+	return label, true
 }
 
 // CountLabels returns the number of labels, 0 for the root.

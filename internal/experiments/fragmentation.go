@@ -82,7 +82,10 @@ func newFarmWorld(names int, ttl uint32, qps float64, seed int64) *farmWorld {
 // public resolvers translate into fleet-sized load multipliers — while the
 // shared and consistent-hash sharded topologies keep it flat, and the
 // effective hit rate clients see stays near the single-resolver figure.
-func FarmFragmentation(queries int, seed int64) *Report {
+// The TTL × farm-size × topology grid is fanned across workers; every cell
+// rebuilds its own world from the same seed, so cells are independent and
+// the report does not depend on the worker count.
+func FarmFragmentation(queries, workers int, seed int64) *Report {
 	if queries <= 0 {
 		queries = 4000
 	}
@@ -97,38 +100,51 @@ func FarmFragmentation(queries int, seed int64) *Report {
 		hot     uint64
 		hitRate float64
 	}
-	results := make(map[string]cell)
 	ck := func(topo farm.Topology, nf int, ttl uint32) string {
 		return fmt.Sprintf("%s_f%d_ttl%d", topo, nf, ttl)
 	}
 
+	type config struct {
+		ttl  uint32
+		nf   int
+		topo farm.Topology
+	}
+	var grid []config
 	for _, ttl := range ttls {
 		for _, nf := range frontCounts {
 			for _, topo := range topos {
-				// Every cell replays the identical arrival stream: the
-				// world (and its generator) is rebuilt from the same seed.
-				w := newFarmWorld(names, ttl, qps, seed)
-				fm := farm.New(farm.Config{
-					Frontends: nf,
-					Topology:  topo,
-					Placement: farm.PlaceRandom,
-					Coalesce:  true,
-					Policy:    resolver.DefaultPolicy(),
-					Seed:      seed,
-				}, netip.MustParseAddr("10.40.0.1"), w.net, w.clock, []netip.Addr{w.rootAddr})
-
-				for q := 0; q < queries; q++ {
-					gap, name := w.gen.Next()
-					w.clock.Advance(gap)
-					_, _ = fm.Resolve(name, dnswire.TypeA)
-				}
-				results[ck(topo, nf, ttl)] = cell{
-					auth:    w.rootSrv.QueryCount() + w.orgSrv.QueryCount(),
-					hot:     w.hotQueries,
-					hitRate: fm.Stats().HitRate(),
-				}
+				grid = append(grid, config{ttl: ttl, nf: nf, topo: topo})
 			}
 		}
+	}
+	cells := Sweep(len(grid), workers, func(i int) cell {
+		cfg := grid[i]
+		// Every cell replays the identical arrival stream: the world (and
+		// its generator) is rebuilt from the same seed.
+		w := newFarmWorld(names, cfg.ttl, qps, seed)
+		fm := farm.New(farm.Config{
+			Frontends: cfg.nf,
+			Topology:  cfg.topo,
+			Placement: farm.PlaceRandom,
+			Coalesce:  true,
+			Policy:    resolver.DefaultPolicy(),
+			Seed:      seed,
+		}, netip.MustParseAddr("10.40.0.1"), w.net, w.clock, []netip.Addr{w.rootAddr})
+
+		for q := 0; q < queries; q++ {
+			gap, name := w.gen.Next()
+			w.clock.Advance(gap)
+			_, _ = fm.Resolve(name, dnswire.TypeA)
+		}
+		return cell{
+			auth:    w.rootSrv.QueryCount() + w.orgSrv.QueryCount(),
+			hot:     w.hotQueries,
+			hitRate: fm.Stats().HitRate(),
+		}
+	})
+	results := make(map[string]cell, len(grid))
+	for i, cfg := range grid {
+		results[ck(cfg.topo, cfg.nf, cfg.ttl)] = cells[i]
 	}
 
 	tbl := &stats.Table{

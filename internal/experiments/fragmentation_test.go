@@ -11,7 +11,7 @@ import (
 // sharded topologies keep it flat, and the fleet hit rate collapses only
 // under fragmentation.
 func TestFarmFragmentationFindings(t *testing.T) {
-	r := FarmFragmentation(3000, 42)
+	r := FarmFragmentation(3000, 0, 42)
 
 	// Private caches: authoritative volume rises monotonically in the
 	// frontend count at the short TTL, and clearly overall (≥ 2.5×
@@ -59,8 +59,8 @@ func TestFarmFragmentationFindings(t *testing.T) {
 
 // TestFarmFragmentationDeterministic: same seed, identical report.
 func TestFarmFragmentationDeterministic(t *testing.T) {
-	a := FarmFragmentation(1500, 7)
-	b := FarmFragmentation(1500, 7)
+	a := FarmFragmentation(1500, 1, 7)
+	b := FarmFragmentation(1500, 4, 7)
 	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
 		t.Errorf("metrics differ between identical runs")
 	}

@@ -18,7 +18,9 @@ import (
 // the zone's TTL sweeps from seconds to a day, and the measured hit rate is
 // compared with the Jung et al. prediction — including their observation
 // that TTLs beyond ~1000 s buy little extra.
-func HitRateVsTTL(queries int, seed int64) *Report {
+// Each TTL point builds its own clock, network and resolver, so the sweep
+// fans across workers without shared state.
+func HitRateVsTTL(queries, workers int, seed int64) *Report {
 	if queries <= 0 {
 		queries = 20000
 	}
@@ -26,10 +28,9 @@ func HitRateVsTTL(queries int, seed int64) *Report {
 	const names = 200
 	const qps = 2.0
 
-	measured := make([]float64, len(ttls))
-	predicted := make([]float64, len(ttls))
-
-	for i, ttl := range ttls {
+	type point struct{ measured, predicted float64 }
+	pts := Sweep(len(ttls), workers, func(i int) point {
+		ttl := ttls[i]
 		clock := simnet.NewVirtualClock()
 		net := simnet.NewNetwork(seed)
 
@@ -77,8 +78,12 @@ func HitRateVsTTL(queries int, seed int64) *Report {
 				hits++
 			}
 		}
-		measured[i] = frac(hits, total)
-		predicted[i] = gen.ExpectedHitRate(ttl)
+		return point{measured: frac(hits, total), predicted: gen.ExpectedHitRate(ttl)}
+	})
+	measured := make([]float64, len(ttls))
+	predicted := make([]float64, len(ttls))
+	for i, p := range pts {
+		measured[i], predicted[i] = p.measured, p.predicted
 	}
 
 	tbl := &stats.Table{Title: fmt.Sprintf("Cache hit rate vs TTL (Zipf s=1, %d names, %.1f q/s, %s queries per point)",

@@ -6,7 +6,7 @@ import (
 )
 
 func TestHitRateVsTTL(t *testing.T) {
-	r := HitRateVsTTL(6000, 31)
+	r := HitRateVsTTL(6000, 0, 31)
 	// Monotone in TTL.
 	prev := -1.0
 	for _, ttl := range []int{10, 60, 1000, 86400} {

@@ -16,7 +16,11 @@ import (
 // record TTL, knock every authoritative out for a fixed window, and measure
 // how many client queries still get answers. Caching rides out any outage
 // shorter than the TTL; serve-stale extends that to arbitrary outages.
-func OutageSweep(probes int, seed int64) *Report {
+//
+// The TTL × policy grid is fanned across workers (see Sweep); each cell
+// builds its own seeded testbed, so the report is identical at any worker
+// count.
+func OutageSweep(probes, workers int, seed int64) *Report {
 	ttls := []uint32{60, 600, 1800, 3600, 7200}
 	const (
 		rounds       = 12 // 2 h of probing at 600 s
@@ -63,14 +67,19 @@ func OutageSweep(probes int, seed int64) *Report {
 		return frac(valid, total)
 	}
 
+	// Flatten the (ttl, serve-stale) grid into independent sweep cells:
+	// even index = strict, odd = serve-stale.
+	avail := Sweep(2*len(ttls), workers, func(i int) float64 {
+		return run(ttls[i/2], i%2 == 1)
+	})
+
 	tbl := &stats.Table{
 		Title:  "Availability during a 1-hour full outage, by record TTL",
 		Header: []string{"TTL (s)", "strict TTL", "with serve-stale"},
 	}
 	m := map[string]float64{}
-	for _, ttl := range ttls {
-		strict := run(ttl, false)
-		stale := run(ttl, true)
+	for i, ttl := range ttls {
+		strict, stale := avail[2*i], avail[2*i+1]
 		tbl.AddRow(fmt.Sprintf("%d", ttl),
 			fmt.Sprintf("%.0f%%", 100*strict), fmt.Sprintf("%.0f%%", 100*stale))
 		m[fmt.Sprintf("avail_ttl_%d", ttl)] = strict

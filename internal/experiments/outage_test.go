@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestOutageSweep(t *testing.T) {
-	r := OutageSweep(60, 17)
+	r := OutageSweep(60, 0, 17)
 	// Monotone: longer TTLs survive the outage better.
 	prev := -1.0
 	for _, ttl := range []string{"60", "600", "1800", "3600", "7200"} {

@@ -14,7 +14,8 @@ import (
 // necessary transition delay". The operator changes a service address at a
 // fixed time; we measure, per TTL, how long until (nearly) every client
 // sees the new one.
-func PropagationSweep(probes int, seed int64) *Report {
+// Each TTL point is an independent sweep cell fanned across workers.
+func PropagationSweep(probes, workers int, seed int64) *Report {
 	ttls := []uint32{60, 600, 1800, 3600}
 	const (
 		interval    = 60 * time.Second
@@ -72,13 +73,22 @@ func PropagationSweep(probes int, seed int64) *Report {
 		return lag, lastOld
 	}
 
+	type point struct {
+		lag  int
+		tail float64
+	}
+	pts := Sweep(len(ttls), workers, func(i int) point {
+		lag, tail := run(ttls[i])
+		return point{lag: lag, tail: tail}
+	})
+
 	tbl := &stats.Table{
 		Title:  "Renumbering propagation: minutes until <=1% of answers carry the old address",
 		Header: []string{"TTL (s)", "propagation (min)", "old share at t=75min"},
 	}
 	m := map[string]float64{}
-	for _, ttl := range ttls {
-		lag, tail := run(ttl)
+	for i, ttl := range ttls {
+		lag, tail := pts[i].lag, pts[i].tail
 		tbl.AddRow(fmt.Sprintf("%d", ttl), fmt.Sprintf("%d", lag), fmt.Sprintf("%.1f%%", 100*tail))
 		m[fmt.Sprintf("lag_min_ttl_%d", ttl)] = float64(lag)
 		m[fmt.Sprintf("tail_old_ttl_%d", ttl)] = tail

@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestPropagationSweep(t *testing.T) {
-	r := PropagationSweep(50, 19)
+	r := PropagationSweep(50, 0, 19)
 	// Propagation lag grows with TTL and is on the order of the TTL.
 	l60 := r.Metric("lag_min_ttl_60")
 	l600 := r.Metric("lag_min_ttl_600")

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSweepOrderAndCoverage(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		out := Sweep(17, workers, func(i int) int { return i * i })
+		if len(out) != 17 {
+			t.Fatalf("workers=%d: got %d results, want 17", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	if out := Sweep(0, 4, func(i int) int { return i }); out != nil {
+		t.Errorf("Sweep(0, ...) = %v, want nil", out)
+	}
+}
+
+func TestSweepRunsEachIndexOnce(t *testing.T) {
+	var calls [100]atomic.Int32
+	Sweep(len(calls), 8, func(i int) struct{} {
+		calls[i].Add(1)
+		return struct{}{}
+	})
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("index %d ran %d times", i, n)
+		}
+	}
+}

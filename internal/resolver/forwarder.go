@@ -127,13 +127,18 @@ func (f *Forwarder) Resolve(name dnswire.Name, qtype dnswire.Type) (*Result, err
 	id := f.nextID
 	f.mu.Unlock()
 
-	q := dnswire.NewQuery(id, name, qtype)
-	wire, err := dnswire.Encode(q)
+	qs := acquireQueryScratch()
+	qs.msg.Header = dnswire.Header{ID: id, RD: true, Opcode: dnswire.OpcodeQuery}
+	qs.msg.Question = append(qs.msg.Question,
+		dnswire.Question{Name: name, Type: qtype, Class: dnswire.ClassIN})
+	wire, err := qs.encode()
 	if err != nil {
+		releaseQueryScratch(qs)
 		return nil, err
 	}
 	res.Queries++
 	respWire, rtt, err := f.Net.Exchange(f.Addr, upstream, wire)
+	releaseQueryScratch(qs)
 	res.Latency += rtt
 	if err != nil {
 		res.Timeouts++

@@ -328,14 +328,20 @@ func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dn
 	if tries > len(order) {
 		tries = len(order)
 	}
+	qs := acquireQueryScratch()
+	defer releaseQueryScratch(qs)
 	var lastErr error
 	for i := 0; i < tries; i++ {
 		server := order[i]
-		q := dnswire.NewIterativeQuery(r.id(), name, qtype)
+		qID := r.id()
+		qs.msg.Reset()
+		qs.msg.Header = dnswire.Header{ID: qID, Opcode: dnswire.OpcodeQuery}
+		qs.msg.Question = append(qs.msg.Question,
+			dnswire.Question{Name: name, Type: qtype, Class: dnswire.ClassIN})
 		// Advertise EDNS so referrals with glue fit in one datagram.
-		q.AddAdditional(dnswire.RR{Name: dnswire.Root, Type: dnswire.TypeOPT,
+		qs.msg.AddAdditional(dnswire.RR{Name: dnswire.Root, Type: dnswire.TypeOPT,
 			Data: dnswire.OPT{UDPSize: dnswire.MaxEDNSSize}})
-		wire, err := dnswire.Encode(q)
+		wire, err := qs.encode()
 		if err != nil {
 			return nil, netip.Addr{}, err
 		}
@@ -352,7 +358,7 @@ func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dn
 			lastErr = err
 			continue
 		}
-		if resp.Header.ID != q.Header.ID {
+		if resp.Header.ID != qID {
 			lastErr = fmt.Errorf("resolver: response ID mismatch")
 			continue
 		}

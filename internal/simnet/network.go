@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,15 +44,38 @@ type node struct {
 	handler Handler
 	// down marks the server unresponsive (used for §4.4-style experiments
 	// where child authoritatives are taken offline).
-	down bool
+	down atomic.Bool
+}
+
+// flowKey identifies a directed (src, dst) traffic flow.
+type flowKey struct {
+	src, dst netip.Addr
+}
+
+// flow holds the per-(src,dst) random state. Sharding the RNG per flow means
+// concurrent exchanges on different flows never contend, and — because each
+// flow's stream is seeded purely from (network seed, src, dst) — the loss
+// and latency draws a flow sees do not depend on what any other flow is
+// doing or on the order flows were first used. That is what keeps parallel
+// experiment sweeps byte-identical to serial ones.
+type flow struct {
+	mu  sync.Mutex
+	rng *rand.Rand
 }
 
 // Network is the in-memory message plane. Latency is decided per
 // (src, dst) pair by the configured LatencyFor function; loss by LossFor.
 type Network struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
+	seed int64
+
+	mu    sync.RWMutex // guards nodes and flows maps
 	nodes map[netip.Addr]*node
+	flows map[flowKey]*flow
+
+	derive struct { // state for Rand(), isolated from flow streams
+		sync.Mutex
+		rng *rand.Rand
+	}
 
 	// LatencyFor returns the RTT model for a src→dst exchange. If nil, a
 	// constant 20 ms is used.
@@ -64,12 +88,13 @@ type Network struct {
 	Timeout time.Duration
 	// Tap, when non-nil, observes every exchange — the simulation's
 	// packet capture, standing in for the paper's pcap analyses (§4.4).
-	// It runs outside the network lock; keep it cheap.
+	// It runs outside the network lock; keep it cheap. The Query and
+	// Response slices are only valid during the call.
 	Tap func(TapEvent)
 
 	// counters
-	queries uint64
-	losses  uint64
+	queries atomic.Uint64
+	losses  atomic.Uint64
 }
 
 // TapEvent describes one observed exchange.
@@ -81,12 +106,56 @@ type TapEvent struct {
 	Err      error
 }
 
-// NewNetwork creates a network with a deterministic RNG seeded by seed.
+// NewNetwork creates a network with deterministic randomness derived from
+// seed. Random draws are sharded per (src, dst) flow; see flow.
 func NewNetwork(seed int64) *Network {
-	return &Network{
-		rng:   rand.New(rand.NewSource(seed)),
+	n := &Network{
+		seed:  seed,
 		nodes: make(map[netip.Addr]*node),
+		flows: make(map[flowKey]*flow),
 	}
+	n.derive.rng = rand.New(rand.NewSource(seed))
+	return n
+}
+
+// flowSeed mixes the network seed with both endpoint addresses (FNV-1a over
+// their 16-byte forms) into the flow's RNG seed. Depending only on
+// (seed, src, dst) — never on discovery order — is load-bearing for
+// determinism under concurrency.
+func flowSeed(seed int64, k flowKey) int64 {
+	h := uint64(14695981039346656037)
+	step := func(b byte) {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	for i := 0; i < 8; i++ {
+		step(byte(uint64(seed) >> (8 * i)))
+	}
+	src, dst := k.src.As16(), k.dst.As16()
+	for _, b := range src {
+		step(b)
+	}
+	for _, b := range dst {
+		step(b)
+	}
+	return int64(h)
+}
+
+// flowFor returns the flow state for (src, dst), creating it on first use.
+func (n *Network) flowFor(src, dst netip.Addr) *flow {
+	k := flowKey{src: src, dst: dst}
+	n.mu.RLock()
+	f := n.flows[k]
+	n.mu.RUnlock()
+	if f != nil {
+		return f
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f = n.flows[k]; f == nil {
+		f = &flow{rng: rand.New(rand.NewSource(flowSeed(n.seed, k)))}
+		n.flows[k] = f
+	}
+	return f
 }
 
 // Attach registers handler as the server listening at addr, replacing any
@@ -107,13 +176,13 @@ func (n *Network) Detach(addr netip.Addr) {
 // SetDown marks the server at addr unresponsive (true) or responsive
 // (false) without detaching it; queries to a down server time out.
 func (n *Network) SetDown(addr netip.Addr, down bool) error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
 	nd := n.nodes[addr]
+	n.mu.RUnlock()
 	if nd == nil {
 		return fmt.Errorf("simnet: SetDown(%s): %w", addr, ErrUnreachable)
 	}
-	nd.down = down
+	nd.down.Store(down)
 	return nil
 }
 
@@ -129,8 +198,9 @@ func (n *Network) Exchange(src, dst netip.Addr, query []byte) ([]byte, time.Dura
 }
 
 func (n *Network) exchange(src, dst netip.Addr, query []byte) ([]byte, time.Duration, error) {
-	n.mu.Lock()
+	n.mu.RLock()
 	nd := n.nodes[dst]
+	n.mu.RUnlock()
 	timeout := n.Timeout
 	if timeout == 0 {
 		timeout = DefaultTimeout
@@ -139,28 +209,43 @@ func (n *Network) exchange(src, dst netip.Addr, query []byte) ([]byte, time.Dura
 		lost bool
 		rtt  time.Duration
 	)
-	n.queries++
+	n.queries.Add(1)
+
+	// Sample loss and latency from the flow's private stream. The stream is
+	// consumed exactly as the single-RNG implementation did: a loss draw
+	// only when loss probability is positive, a latency draw only for
+	// delivered queries.
+	needLoss := false
+	var lossP float64
 	if n.LossFor != nil {
-		if p := n.LossFor(src, dst); p > 0 && n.rng.Float64() < p {
+		if lossP = n.LossFor(src, dst); lossP > 0 {
+			needLoss = true
+		}
+	}
+	deliverable := nd != nil && !nd.down.Load()
+	if needLoss || deliverable {
+		f := n.flowFor(src, dst)
+		f.mu.Lock()
+		if needLoss && f.rng.Float64() < lossP {
 			lost = true
-			n.losses++
+			n.losses.Add(1)
 		}
-	}
-	if !lost && nd != nil && !nd.down {
-		model := LatencyModel(Constant(20 * time.Millisecond))
-		if n.LatencyFor != nil {
-			if m := n.LatencyFor(src, dst); m != nil {
-				model = m
+		if !lost && deliverable {
+			model := LatencyModel(Constant(20 * time.Millisecond))
+			if n.LatencyFor != nil {
+				if m := n.LatencyFor(src, dst); m != nil {
+					model = m
+				}
 			}
+			rtt = model.Sample(f.rng)
 		}
-		rtt = model.Sample(n.rng)
+		f.mu.Unlock()
 	}
-	n.mu.Unlock()
 
 	if nd == nil {
 		return nil, timeout, ErrUnreachable
 	}
-	if lost || nd.down {
+	if lost || !deliverable {
 		return nil, timeout, ErrTimeout
 	}
 	resp := nd.handler.ServeDNS(query, src)
@@ -175,15 +260,14 @@ func (n *Network) exchange(src, dst netip.Addr, query []byte) ([]byte, time.Dura
 
 // Stats returns the number of exchanges attempted and the number lost.
 func (n *Network) Stats() (queries, losses uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.queries, n.losses
+	return n.queries.Load(), n.losses.Load()
 }
 
 // Rand derives an independent deterministic RNG from the network's seed
-// stream, for callers that need their own randomness.
+// stream, for callers that need their own randomness. Derivation draws from
+// a dedicated stream, so it never perturbs flow sampling.
 func (n *Network) Rand() *rand.Rand {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return rand.New(rand.NewSource(n.rng.Int63()))
+	n.derive.Lock()
+	defer n.derive.Unlock()
+	return rand.New(rand.NewSource(n.derive.rng.Int63()))
 }
