@@ -9,6 +9,7 @@ import (
 	"dnsttl/internal/authoritative"
 	"dnsttl/internal/cache"
 	"dnsttl/internal/farm"
+	"dnsttl/internal/obs"
 	"dnsttl/internal/resolver"
 	"dnsttl/internal/simnet"
 	"dnsttl/internal/zone"
@@ -95,6 +96,36 @@ type ClientConfig struct {
 	Coalesce bool
 	// Seed makes server selection and query IDs deterministic; 0 uses 1.
 	Seed int64
+	// Registry, when non-nil, collects the client's telemetry — resolution
+	// counters, latency/TTL histograms, cache gauges, and (for farms) the
+	// per-frontend fleet counters — for /metrics-style introspection.
+	Registry *Registry
+	// Tracer, when non-nil, records each resolution's lifecycle as a span
+	// tree retrievable by name (the /trace endpoint, dnsq -trace).
+	Tracer *Tracer
+}
+
+// Registry is the telemetry metrics registry shared by the resolver, farm,
+// cache, and authoritative server (see internal/obs).
+type Registry = obs.Registry
+
+// Tracer records query lifecycles as span trees.
+type Tracer = obs.Tracer
+
+// MetricsSnapshot is a deterministic point-in-time copy of a Registry.
+type MetricsSnapshot = obs.Snapshot
+
+// NewRegistry builds a metrics registry; a nil clock means wall time.
+func NewRegistry(clock Clock) *Registry { return obs.NewRegistry(clock) }
+
+// NewTracer builds a lifecycle tracer; a nil clock means wall time.
+func NewTracer(clock Clock) *Tracer { return obs.NewTracer(clock) }
+
+// ServeMetrics starts an HTTP introspection listener on addr (":0" picks a
+// port) exposing /metrics from reg and /trace from tr (either may be nil).
+// It returns the bound address and a close function.
+func ServeMetrics(addr string, reg *Registry, tr *Tracer) (string, func() error, error) {
+	return obs.Serve(addr, reg, tr)
 }
 
 // FarmTopology selects the farm cache design; see the Farm* constants.
@@ -155,6 +186,8 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			Policy:    cfg.Policy,
 			LocalRoot: cfg.LocalRoot,
 			Seed:      cfg.Seed,
+			Registry:  cfg.Registry,
+			Tracer:    cfg.Tracer,
 		}, netip.MustParseAddr("127.0.0.1"), cfg.Net, cfg.Clock, cfg.Roots)
 		return &Client{f: f}, nil
 	}
@@ -162,6 +195,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.LocalRoot != nil {
 		r.LocalRootZone = cfg.LocalRoot
 	}
+	if cfg.Registry != nil {
+		r.Obs = resolver.NewMetrics(cfg.Registry)
+		cache.Instrument(cfg.Registry, "cache", r.Cache.Stats)
+	}
+	r.Tracer = cfg.Tracer
 	return &Client{r: r}, nil
 }
 
@@ -247,6 +285,10 @@ func (s *Server) ListenTCP(addr string) (netip.AddrPort, error) {
 
 // QueryCount reports queries handled.
 func (s *Server) QueryCount() uint64 { return s.s.QueryCount() }
+
+// Instrument mirrors the server's query counters into reg (auth.queries,
+// auth.referrals, auth.nxdomain, auth.refused); nil detaches.
+func (s *Server) Instrument(reg *Registry) { s.s.Instrument(reg) }
 
 // Close stops all listening transports.
 func (s *Server) Close() error {

@@ -27,9 +27,10 @@ func (z *zoneFlags) Set(v string) error {
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:5353", "UDP listen address")
-		name   = flag.String("name", "ns1.example.org", "server's own name")
-		zones  zoneFlags
+		listen  = flag.String("listen", "127.0.0.1:5353", "UDP listen address")
+		name    = flag.String("name", "ns1.example.org", "server's own name")
+		metrics = flag.String("metrics", "", "HTTP address for /metrics introspection (empty = off)")
+		zones   zoneFlags
 	)
 	flag.Var(&zones, "zone", "origin=path to a master file (repeatable)")
 	flag.Parse()
@@ -64,6 +65,17 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("serving on udp://%s\n", addr)
+	if *metrics != "" {
+		reg := dnsttl.NewRegistry(nil)
+		srv.Instrument(reg)
+		bound, closeMetrics, err := dnsttl.ServeMetrics(*metrics, reg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "authserver: metrics:", err)
+			os.Exit(1)
+		}
+		defer closeMetrics()
+		fmt.Printf("introspection on http://%s/metrics\n", bound)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

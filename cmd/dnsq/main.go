@@ -4,6 +4,12 @@
 // Usage:
 //
 //	dnsq -server 127.0.0.1 -port 5353 www.example.org A
+//	dnsq -trace -server 127.0.0.1 -port 5353 www.example.org A
+//
+// With -trace, dnsq iterates from the server itself (dig +trace style,
+// treating -server as the sole root hint) and prints the resolution's full
+// lifecycle as a span tree: cache lookup, per-zone iteration steps, and
+// each upstream exchange with its RTT and TTL decisions.
 package main
 
 import (
@@ -24,6 +30,7 @@ func main() {
 		port    = flag.Uint("port", 53, "server port")
 		timeout = flag.Duration("timeout", 3*time.Second, "query timeout")
 		rd      = flag.Bool("rd", true, "set the recursion-desired flag")
+		trace   = flag.Bool("trace", false, "iterate from -server like dig +trace and print the span tree")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -41,17 +48,22 @@ func main() {
 		qtype = t
 	}
 
+	addr, err := netip.ParseAddr(*server)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq:", err)
+		os.Exit(2)
+	}
+	if *trace {
+		runTrace(addr, uint16(*port), *timeout, name, qtype)
+		return
+	}
+
 	q := dnswire.NewQuery(uint16(time.Now().UnixNano()), name, qtype)
 	q.Header.RD = *rd
 	wire, err := dnsttl.Encode(q)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnsq:", err)
 		os.Exit(1)
-	}
-	addr, err := netip.ParseAddr(*server)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "dnsq:", err)
-		os.Exit(2)
 	}
 	respWire, rtt, err := authoritative.UDPExchange(netip.AddrPortFrom(addr, uint16(*port)), wire, *timeout)
 	if err != nil {
@@ -65,4 +77,32 @@ func main() {
 	}
 	fmt.Print(resp)
 	fmt.Printf(";; Query time: %v\n;; SERVER: %s#%d\n", rtt.Round(time.Microsecond), *server, *port)
+}
+
+// runTrace resolves the name iteratively on the client side, dig +trace
+// style: the given server is the only root hint, and every lifecycle step
+// the library records — cache lookup, zone-by-zone iteration, individual
+// upstream exchanges with RTTs and TTL decisions — is printed as a span
+// tree.
+func runTrace(root netip.Addr, port uint16, timeout time.Duration, name dnsttl.Name, qtype dnsttl.Type) {
+	client, err := dnsttl.NewClient(dnsttl.ClientConfig{
+		Roots:  []netip.Addr{root},
+		Net:    dnsttl.UDPNet{Port: port, Timeout: timeout},
+		Tracer: dnsttl.NewTracer(nil),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq:", err)
+		os.Exit(1)
+	}
+	res, err := client.Lookup(name, qtype)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq:", err)
+		os.Exit(1)
+	}
+	if res.Span != nil {
+		fmt.Print(res.Span.String())
+	}
+	fmt.Println()
+	fmt.Print(res.Msg)
+	fmt.Printf(";; Query time: %v\n;; ROOT HINT: %s#%d\n", res.Latency.Round(time.Microsecond), root, port)
 }

@@ -39,6 +39,7 @@ func main() {
 		topology      = flag.String("cache-topology", "shared", "farm cache topology: private, shared, or sharded")
 		placement     = flag.String("placement", "random", "farm query placement: random, roundrobin, or hash")
 		coalesce      = flag.Bool("coalesce", true, "coalesce identical in-flight queries across the farm")
+		metrics       = flag.String("metrics", "", "HTTP address for /metrics and /trace introspection (empty = off)")
 	)
 	flag.Parse()
 	if *roots == "" {
@@ -70,6 +71,10 @@ func main() {
 		Net:       dnsttl.UDPNet{Port: uint16(*rootPort)},
 		Frontends: *frontends,
 		Coalesce:  *coalesce,
+	}
+	if *metrics != "" {
+		cfg.Registry = dnsttl.NewRegistry(nil)
+		cfg.Tracer = dnsttl.NewTracer(nil)
 	}
 	if *frontends > 1 {
 		topo, err := dnsttl.ParseFarmTopology(*topology)
@@ -105,6 +110,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "resolverd:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		bound, closeMetrics, err := dnsttl.ServeMetrics(*metrics, cfg.Registry, cfg.Tracer)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resolverd: metrics:", err)
+			os.Exit(1)
+		}
+		defer closeMetrics()
+		fmt.Printf("introspection on http://%s/metrics and /trace\n", bound)
 	}
 	if *frontends > 1 {
 		fmt.Printf("resolver farm on udp://%s (%d frontends, %s cache, %s placement, policy: %s, cap %ds)\n",

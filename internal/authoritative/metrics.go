@@ -1,0 +1,56 @@
+package authoritative
+
+import (
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/obs"
+)
+
+// Metrics is the authoritative server's telemetry handle set: the query
+// volume and answer-kind breakdown the paper's server-side analyses (§3.4,
+// §4.6) read, mirrored into the same registry the resolver reports to.
+type Metrics struct {
+	// Queries counts every query handled.
+	Queries *obs.Counter
+	// Referrals counts delegation responses (glue included).
+	Referrals *obs.Counter
+	// NXDomain counts RFC 2308 name-error responses.
+	NXDomain *obs.Counter
+	// Refused counts queries outside every served zone.
+	Refused *obs.Counter
+}
+
+// Metric names under which Instrument registers the server's telemetry.
+const (
+	MetricQueries   = "auth.queries"
+	MetricReferrals = "auth.referrals"
+	MetricNXDomain  = "auth.nxdomain"
+	MetricRefused   = "auth.refused"
+)
+
+// Instrument attaches registry-backed metrics to the server. A nil registry
+// detaches (Obs reverts to nil, the zero-cost configuration).
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		s.Obs = nil
+		return
+	}
+	s.Obs = &Metrics{
+		Queries:   reg.Counter(MetricQueries),
+		Referrals: reg.Counter(MetricReferrals),
+		NXDomain:  reg.Counter(MetricNXDomain),
+		Refused:   reg.Counter(MetricRefused),
+	}
+}
+
+// observe books one handled query by its response shape.
+func (m *Metrics) observe(resp *dnswire.Message) {
+	m.Queries.Inc()
+	switch {
+	case resp.IsReferral():
+		m.Referrals.Inc()
+	case resp.Header.RCode == dnswire.RCodeNXDomain:
+		m.NXDomain.Inc()
+	case resp.Header.RCode == dnswire.RCodeRefused:
+		m.Refused.Inc()
+	}
+}

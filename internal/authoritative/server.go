@@ -39,6 +39,9 @@ type Server struct {
 	// response — classic DNS load balancing (§6.1), where every arriving
 	// query is a chance to steer a client.
 	RotateAnswers bool
+	// Obs, when non-nil, mirrors the query counters into the telemetry
+	// plane (see Instrument); nil costs one pointer check per query.
+	Obs *Metrics
 
 	mu       sync.RWMutex
 	zones    map[dnswire.Name]*zone.Zone
@@ -271,6 +274,9 @@ func (s *Server) maybeRotate(rrs []dnswire.RR) []dnswire.RR {
 }
 
 func (s *Server) logQuery(from netip.Addr, q dnswire.Question, resp *dnswire.Message) {
+	if m := s.Obs; m != nil {
+		m.observe(resp)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.queries++

@@ -10,9 +10,11 @@ package cache
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dnsttl/internal/dnswire"
+	"dnsttl/internal/obs"
 	"dnsttl/internal/simnet"
 )
 
@@ -180,7 +182,10 @@ type Cache struct {
 	// whole cache.
 	glueIdx map[dnswire.Name]map[Key]struct{}
 
-	hits, misses, evictions, staleHits uint64
+	// Counters are atomic so Stats can be read mid-operation (from a
+	// /metrics scrape or a concurrent experiment) without taking the cache
+	// lock and without racing the Get/Put paths that bump them.
+	hits, misses, evictions, staleHits atomic.Uint64
 }
 
 // New creates a cache on the given clock (nil means wall clock).
@@ -234,11 +239,29 @@ type Stats struct {
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	entries := len(c.entries)
+	c.mu.Unlock()
 	return Stats{
-		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
-		StaleHits: c.staleHits, Entries: len(c.entries),
+		Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load(),
+		StaleHits: c.staleHits.Load(), Entries: entries,
 	}
+}
+
+// Instrument bridges a cache's counters into the telemetry registry as
+// snapshot-time gauges named <prefix>.hits, .misses, .evictions,
+// .stale_hits, and .entries. The stats function is called at scrape time,
+// so one registration follows the cache's live state; any Store (single
+// cache, sharded pool, or a farm fleet aggregate) can be bridged. A nil
+// registry is a no-op.
+func Instrument(reg *obs.Registry, prefix string, stats func() Stats) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc(prefix+".hits", func() float64 { return float64(stats().Hits) })
+	reg.GaugeFunc(prefix+".misses", func() float64 { return float64(stats().Misses) })
+	reg.GaugeFunc(prefix+".evictions", func() float64 { return float64(stats().Evictions) })
+	reg.GaugeFunc(prefix+".stale_hits", func() float64 { return float64(stats().StaleHits) })
+	reg.GaugeFunc(prefix+".entries", func() float64 { return float64(stats().Entries) })
 }
 
 // Len returns the number of entries, expired ones included.
@@ -285,7 +308,7 @@ func (c *Cache) evictToFitLocked() {
 			return
 		}
 		c.removeLocked(front)
-		c.evictions++
+		c.evictions.Add(1)
 	}
 }
 
@@ -300,16 +323,16 @@ func (c *Cache) Get(name dnswire.Name, t dnswire.Type) (*Entry, uint32, bool) {
 func (c *Cache) getLocked(k Key, now time.Time) (*Entry, uint32, bool) {
 	el, ok := c.entries[k]
 	if !ok {
-		c.misses++
+		c.misses.Add(1)
 		return nil, 0, false
 	}
 	e := el.Value.(*Entry)
 	rem, fresh := e.Remaining(now)
 	if !fresh {
-		c.misses++
+		c.misses.Add(1)
 		return nil, 0, false
 	}
-	c.hits++
+	c.hits.Add(1)
 	return e, rem, true
 }
 
@@ -335,7 +358,7 @@ func (c *Cache) GetStale(name dnswire.Name, t dnswire.Type) (*Entry, uint32, boo
 	if now.Sub(e.expiresAt()) > c.cfg.staleFor() {
 		return nil, 0, false
 	}
-	c.staleHits++
+	c.staleHits.Add(1)
 	return e, 30, true
 }
 

@@ -7,6 +7,7 @@ import (
 	"dnsttl/internal/authoritative"
 	"dnsttl/internal/dnswire"
 	"dnsttl/internal/farm"
+	"dnsttl/internal/obs"
 	"dnsttl/internal/resolver"
 	"dnsttl/internal/simnet"
 	"dnsttl/internal/stats"
@@ -98,7 +99,8 @@ func FarmFragmentation(queries, workers int, seed int64) *Report {
 	type cell struct {
 		auth    uint64
 		hot     uint64
-		hitRate float64
+		rates   farm.Rates
+		latency obs.HistogramSnapshot
 	}
 	ck := func(topo farm.Topology, nf int, ttl uint32) string {
 		return fmt.Sprintf("%s_f%d_ttl%d", topo, nf, ttl)
@@ -122,6 +124,10 @@ func FarmFragmentation(queries, workers int, seed int64) *Report {
 		// Every cell replays the identical arrival stream: the world (and
 		// its generator) is rebuilt from the same seed.
 		w := newFarmWorld(names, cfg.ttl, qps, seed)
+		// The cell's fleet reports through its own registry, so the hit
+		// rates and client-latency quantiles below are the same numbers a
+		// resolverd built on this farm would serve at /metrics.
+		reg := obs.NewRegistry(w.clock)
 		fm := farm.New(farm.Config{
 			Frontends: cfg.nf,
 			Topology:  cfg.topo,
@@ -129,6 +135,7 @@ func FarmFragmentation(queries, workers int, seed int64) *Report {
 			Coalesce:  true,
 			Policy:    resolver.DefaultPolicy(),
 			Seed:      seed,
+			Registry:  reg,
 		}, netip.MustParseAddr("10.40.0.1"), w.net, w.clock, []netip.Addr{w.rootAddr})
 
 		for q := 0; q < queries; q++ {
@@ -139,7 +146,8 @@ func FarmFragmentation(queries, workers int, seed int64) *Report {
 		return cell{
 			auth:    w.rootSrv.QueryCount() + w.orgSrv.QueryCount(),
 			hot:     w.hotQueries,
-			hitRate: fm.Stats().HitRate(),
+			rates:   fm.Stats().Rates(),
+			latency: reg.Histogram(resolver.MetricLatency).Snapshot(),
 		}
 	})
 	results := make(map[string]cell, len(grid))
@@ -152,7 +160,8 @@ func FarmFragmentation(queries, workers int, seed int64) *Report {
 			names, qps, stats.FormatCount(queries)),
 		Header: []string{"TTL (s)", "frontends",
 			"auth private", "auth shared", "auth sharded",
-			"hit private", "hit shared", "hit sharded"},
+			"hit private", "hit shared", "hit sharded",
+			"p50 private", "p50 shared", "p50 sharded"},
 	}
 	m := map[string]float64{}
 	for _, ttl := range ttls {
@@ -163,10 +172,15 @@ func FarmFragmentation(queries, workers int, seed int64) *Report {
 				row = append(row, fmt.Sprintf("%d", c.auth))
 				m[fmt.Sprintf("auth_%s", ck(topo, nf, ttl))] = float64(c.auth)
 				m[fmt.Sprintf("hot_%s", ck(topo, nf, ttl))] = float64(c.hot)
-				m[fmt.Sprintf("hit_%s", ck(topo, nf, ttl))] = c.hitRate
+				m[fmt.Sprintf("hit_%s", ck(topo, nf, ttl))] = c.rates.Hit
+				m[fmt.Sprintf("lat_p50_ms_%s", ck(topo, nf, ttl))] = c.latency.P50
+				m[fmt.Sprintf("lat_p99_ms_%s", ck(topo, nf, ttl))] = c.latency.P99
 			}
 			for _, topo := range topos {
-				row = append(row, fmt.Sprintf("%.3f", results[ck(topo, nf, ttl)].hitRate))
+				row = append(row, fmt.Sprintf("%.3f", results[ck(topo, nf, ttl)].rates.Hit))
+			}
+			for _, topo := range topos {
+				row = append(row, fmt.Sprintf("%.1f", results[ck(topo, nf, ttl)].latency.P50))
 			}
 			tbl.AddRow(row...)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"dnsttl/internal/authoritative"
 	"dnsttl/internal/dnswire"
+	"dnsttl/internal/obs"
 	"dnsttl/internal/resolver"
 	"dnsttl/internal/simnet"
 	"dnsttl/internal/stats"
@@ -28,7 +29,10 @@ func HitRateVsTTL(queries, workers int, seed int64) *Report {
 	const names = 200
 	const qps = 2.0
 
-	type point struct{ measured, predicted float64 }
+	type point struct {
+		measured, predicted float64
+		latency, answerTTL  obs.HistogramSnapshot
+	}
 	pts := Sweep(len(ttls), workers, func(i int) point {
 		ttl := ttls[i]
 		clock := simnet.NewVirtualClock()
@@ -64,6 +68,11 @@ func HitRateVsTTL(queries, workers int, seed int64) *Report {
 
 		res := resolver.New(netip.MustParseAddr("10.30.0.1"), resolver.DefaultPolicy(),
 			net, clock, []netip.Addr{rootAddr}, seed)
+		// Each point carries its own registry: the latency and answer-TTL
+		// distributions come from the telemetry plane, not ad-hoc slices,
+		// so a live /metrics scrape of the same setup shows these numbers.
+		reg := obs.NewRegistry(clock)
+		res.Obs = resolver.NewMetrics(reg)
 
 		hits, total := 0, 0
 		for q := 0; q < queries; q++ {
@@ -78,7 +87,12 @@ func HitRateVsTTL(queries, workers int, seed int64) *Report {
 				hits++
 			}
 		}
-		return point{measured: frac(hits, total), predicted: gen.ExpectedHitRate(ttl)}
+		return point{
+			measured:  frac(hits, total),
+			predicted: gen.ExpectedHitRate(ttl),
+			latency:   reg.Histogram(resolver.MetricLatency).Snapshot(),
+			answerTTL: reg.Histogram(resolver.MetricAnswerTTL).Snapshot(),
+		}
 	})
 	measured := make([]float64, len(ttls))
 	predicted := make([]float64, len(ttls))
@@ -88,13 +102,21 @@ func HitRateVsTTL(queries, workers int, seed int64) *Report {
 
 	tbl := &stats.Table{Title: fmt.Sprintf("Cache hit rate vs TTL (Zipf s=1, %d names, %.1f q/s, %s queries per point)",
 		names, qps, stats.FormatCount(queries)),
-		Header: []string{"TTL (s)", "measured", "model λT/(1+λT)"}}
+		Header: []string{"TTL (s)", "measured", "model λT/(1+λT)",
+			"lat p50 (ms)", "lat p90 (ms)", "lat p99 (ms)", "ans TTL p50 (s)"}}
 	m := map[string]float64{}
 	for i, ttl := range ttls {
+		lat, att := pts[i].latency, pts[i].answerTTL
 		tbl.AddRow(fmt.Sprintf("%d", ttl),
-			fmt.Sprintf("%.3f", measured[i]), fmt.Sprintf("%.3f", predicted[i]))
+			fmt.Sprintf("%.3f", measured[i]), fmt.Sprintf("%.3f", predicted[i]),
+			fmt.Sprintf("%.1f", lat.P50), fmt.Sprintf("%.1f", lat.P90),
+			fmt.Sprintf("%.1f", lat.P99), fmt.Sprintf("%.0f", att.P50))
 		m[fmt.Sprintf("hit_rate_ttl_%d", ttl)] = measured[i]
 		m[fmt.Sprintf("model_ttl_%d", ttl)] = predicted[i]
+		m[fmt.Sprintf("lat_p50_ms_ttl_%d", ttl)] = lat.P50
+		m[fmt.Sprintf("lat_p90_ms_ttl_%d", ttl)] = lat.P90
+		m[fmt.Sprintf("lat_p99_ms_ttl_%d", ttl)] = lat.P99
+		m[fmt.Sprintf("answer_ttl_p50_ttl_%d", ttl)] = att.P50
 	}
 	m["hit_rate_1000_over_86400"] = 0
 	if measured[len(ttls)-1] > 0 {

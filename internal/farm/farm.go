@@ -21,6 +21,7 @@ import (
 
 	"dnsttl/internal/cache"
 	"dnsttl/internal/dnswire"
+	"dnsttl/internal/obs"
 	"dnsttl/internal/resolver"
 	"dnsttl/internal/simnet"
 	"dnsttl/internal/zone"
@@ -87,6 +88,13 @@ type Config struct {
 	LocalRoot *zone.Zone
 	// Seed drives frontend RNGs and the random placement policy.
 	Seed int64
+	// Registry, when non-nil, backs the fleet telemetry (farm.fe<i>.*
+	// counters, resolver.* metrics shared by all frontends, cache.* gauges)
+	// so /metrics and the experiments read the same numbers Stats reports.
+	Registry *obs.Registry
+	// Tracer, when non-nil, records every frontend resolution as a span
+	// tree retrievable via /trace.
+	Tracer *obs.Tracer
 }
 
 func (c Config) frontends() int {
@@ -128,7 +136,7 @@ func New(cfg Config, addr netip.Addr, net simnet.Exchanger, clock simnet.Clock, 
 		frontends: make([]*resolver.Resolver, n),
 		balancer:  newBalancer(cfg.Placement, n, cfg.Seed),
 		flight:    newFlightGroup(),
-		telemetry: newTelemetry(n),
+		telemetry: newTelemetry(n, cfg.Registry),
 	}
 
 	// One storage config for every topology, derived the same way
@@ -150,9 +158,18 @@ func New(cfg Config, addr netip.Addr, net simnet.Exchanger, clock simnet.Clock, 
 		f.store = cache.NewSharded(clock, ccfg, cfg.shards())
 	}
 
+	// All frontends share one resolver metric set: the fleet is one service,
+	// and the paper's quantities (latency, answer TTL, upstream volume) are
+	// service-level.
+	var met *resolver.Metrics
+	if cfg.Registry != nil {
+		met = resolver.NewMetrics(cfg.Registry)
+	}
 	for i := 0; i < n; i++ {
 		r := resolver.New(addr, cfg.Policy, net, clock, roots, cfg.Seed+int64(i)*7919)
 		r.LocalRootZone = cfg.LocalRoot
+		r.Obs = met
+		r.Tracer = cfg.Tracer
 		if f.store != nil {
 			r.Cache = f.store
 		} else if cfg.CacheCapacity > 0 {
@@ -161,6 +178,7 @@ func New(cfg Config, addr netip.Addr, net simnet.Exchanger, clock simnet.Clock, 
 		f.frontends[i] = r
 		addr = addr.Next()
 	}
+	cache.Instrument(cfg.Registry, "cache", f.CacheStats)
 	return f
 }
 

@@ -3,8 +3,8 @@ package farm
 import (
 	"fmt"
 	"strings"
-	"sync/atomic"
 
+	"dnsttl/internal/obs"
 	"dnsttl/internal/resolver"
 )
 
@@ -34,15 +34,39 @@ type Stats struct {
 	Total       FrontendStats
 }
 
-// HitRate is the effective fleet cache-hit rate clients observe: hits plus
-// coalesced joins (neither costs an iteration) over all resolutions.
-func (s Stats) HitRate() float64 {
-	n := s.Total.Client + s.Total.Coalesced
-	if n == 0 {
+// Rates are the fleet-level ratios clients and operators care about, all
+// derived from one Stats snapshot so their denominators are consistent.
+type Rates struct {
+	// Hit is the effective fleet cache-hit rate clients observe: hits plus
+	// coalesced joins (neither costs an iteration) over all resolutions.
+	Hit float64
+	// Stale is the fraction of self-served resolutions answered past their
+	// TTL (RFC 8767).
+	Stale float64
+	// Timeout is the fraction of upstream exchanges that timed out.
+	Timeout float64
+}
+
+// Rates derives every fleet rate from the snapshot through one divide
+// guard, so no rate can disagree with another about what zero traffic means.
+func (s Stats) Rates() Rates {
+	return Rates{
+		Hit:     ratio(s.Total.Hits+s.Total.Coalesced, s.Total.Client+s.Total.Coalesced),
+		Stale:   ratio(s.Total.Stale, s.Total.Client),
+		Timeout: ratio(s.Total.Timeouts, s.Total.Upstream),
+	}
+}
+
+// ratio is the single zero-denominator guard behind every fleet rate.
+func ratio(num, den uint64) float64 {
+	if den == 0 {
 		return 0
 	}
-	return float64(s.Total.Hits+s.Total.Coalesced) / float64(n)
+	return float64(num) / float64(den)
 }
+
+// HitRate is the effective fleet cache-hit rate; see Rates.Hit.
+func (s Stats) HitRate() float64 { return s.Rates().Hit }
 
 // String renders the fleet table.
 func (s Stats) String() string {
@@ -57,43 +81,70 @@ func (s Stats) String() string {
 		row(fmt.Sprintf("fe%d", i), f)
 	}
 	row("total", s.Total)
+	return s.rateFooter(&b)
+}
+
+func (s Stats) rateFooter(b *strings.Builder) string {
+	r := s.Rates()
+	fmt.Fprintf(b, "hit=%.3f stale=%.3f timeout=%.3f\n", r.Hit, r.Stale, r.Timeout)
 	return b.String()
 }
 
-// feCounters is the lock-free mutable form of FrontendStats.
+// feCounters is the lock-free mutable form of FrontendStats, built on the
+// telemetry plane's counters so a registry-backed farm exposes them at
+// /metrics for free.
 type feCounters struct {
-	client, hits, stale, coalesced, upstream, timeouts atomic.Uint64
+	client, hits, stale, coalesced, upstream, timeouts *obs.Counter
 }
 
 func (c *feCounters) snapshot() FrontendStats {
 	return FrontendStats{
-		Client:    c.client.Load(),
-		Hits:      c.hits.Load(),
-		Stale:     c.stale.Load(),
-		Coalesced: c.coalesced.Load(),
-		Upstream:  c.upstream.Load(),
-		Timeouts:  c.timeouts.Load(),
+		Client:    c.client.Value(),
+		Hits:      c.hits.Value(),
+		Stale:     c.stale.Value(),
+		Coalesced: c.coalesced.Value(),
+		Upstream:  c.upstream.Value(),
+		Timeouts:  c.timeouts.Value(),
 	}
 }
 
-// telemetry holds the farm's per-frontend counters.
+// telemetry holds the farm's per-frontend counters. With a registry the
+// counters live there under farm.fe<i>.<name>; without one they are
+// standalone atomics, so Stats works either way.
 type telemetry struct {
 	fe []feCounters
 }
 
-func newTelemetry(n int) *telemetry {
-	return &telemetry{fe: make([]feCounters, n)}
+func newTelemetry(n int, reg *obs.Registry) *telemetry {
+	t := &telemetry{fe: make([]feCounters, n)}
+	counter := func(i int, name string) *obs.Counter {
+		if reg == nil {
+			return &obs.Counter{}
+		}
+		return reg.Counter(fmt.Sprintf("farm.fe%d.%s", i, name))
+	}
+	for i := range t.fe {
+		t.fe[i] = feCounters{
+			client:    counter(i, "client"),
+			hits:      counter(i, "hits"),
+			stale:     counter(i, "stale"),
+			coalesced: counter(i, "coalesced"),
+			upstream:  counter(i, "upstream"),
+			timeouts:  counter(i, "timeouts"),
+		}
+	}
+	return t
 }
 
 // served books one completed resolution's trace to frontend idx.
 func (t *telemetry) served(idx int, tr *resolver.Trace) {
 	c := &t.fe[idx]
-	c.client.Add(1)
+	c.client.Inc()
 	if tr.CacheHit {
-		c.hits.Add(1)
+		c.hits.Inc()
 	}
 	if tr.Stale {
-		c.stale.Add(1)
+		c.stale.Inc()
 	}
 	c.upstream.Add(uint64(tr.Queries))
 	c.timeouts.Add(uint64(tr.Timeouts))
@@ -102,7 +153,7 @@ func (t *telemetry) served(idx int, tr *resolver.Trace) {
 // coalesced books one join (called at join time, while the leader is still
 // in flight).
 func (t *telemetry) coalesced(idx int) {
-	t.fe[idx].coalesced.Add(1)
+	t.fe[idx].coalesced.Inc()
 }
 
 // Stats snapshots the fleet telemetry.

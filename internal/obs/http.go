@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+)
+
+// NewHandler builds the live-introspection mux both daemons mount:
+//
+//	/metrics        expvar-style JSON snapshot of the registry
+//	/trace          list of retained trace names
+//	/trace?name=N   rendered span tree of the last resolution of N
+//
+// Either argument may be nil; the corresponding endpoint then reports that
+// the facility is disabled.
+func NewHandler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if reg == nil {
+			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		if tr == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		name := req.URL.Query().Get("name")
+		if name == "" {
+			names := tr.Names()
+			if len(names) == 0 {
+				fmt.Fprintln(w, "no traces retained yet")
+				return
+			}
+			fmt.Fprintln(w, "retained traces (query with ?name=...):")
+			for _, n := range names {
+				fmt.Fprintf(w, "  %s\n", n)
+			}
+			return
+		}
+		sp, ok := tr.Find(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no trace for %q", name), http.StatusNotFound)
+			return
+		}
+		_, _ = w.Write([]byte(sp.String()))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "endpoints: /metrics /trace /trace?name=<qname>")
+	})
+	return mux
+}
+
+// Serve binds addr and serves the introspection handler until the returned
+// close function is called. It returns the bound address, so addr may use
+// port 0 in tests.
+func Serve(addr string, reg *Registry, tr *Tracer) (bound string, closeFn func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(reg, tr)}
+	go func() {
+		if serveErr := srv.Serve(ln); serveErr != nil && !strings.Contains(serveErr.Error(), "closed") {
+			_ = serveErr
+		}
+	}()
+	return ln.Addr().String(), srv.Close, nil
+}

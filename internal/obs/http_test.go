@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"dnsttl/internal/simnet"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	clock := simnet.NewVirtualClock()
+	reg := NewRegistry(clock)
+	reg.Counter("cache.hits").Add(12)
+	reg.Histogram("resolver.latency_ms").Observe(42)
+
+	srv := httptest.NewServer(NewHandler(reg, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("metrics endpoint emitted invalid JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["cache.hits"] != 12 {
+		t.Fatalf("cache.hits = %d, want 12", snap.Counters["cache.hits"])
+	}
+	h := snap.Histograms["resolver.latency_ms"]
+	if h.Count != 1 || h.P50 != 42 {
+		t.Fatalf("latency histogram %+v, want count 1 p50 42", h)
+	}
+
+	// /trace without a tracer 404s.
+	tresp, err := http.Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tresp.Body.Close()
+	if tresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/trace without tracer: status %d, want 404", tresp.StatusCode)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	tr := NewTracer(simnet.NewVirtualClock())
+	root := tr.Start("www.example.org. A")
+	root.Child("cache lookup").Annotate("outcome", "miss")
+	tr.Keep(root)
+
+	srv := httptest.NewServer(NewHandler(nil, tr))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/trace"); code != 200 || !strings.Contains(body, "www.example.org. A") {
+		t.Fatalf("trace listing: %d %q", code, body)
+	}
+	if code, body := get("/trace?name=www.example.org.+A"); code != 200 ||
+		!strings.Contains(body, "outcome=miss") {
+		t.Fatalf("trace lookup: %d %q", code, body)
+	}
+	if code, _ := get("/trace?name=unknown.test"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace: %d, want 404", code)
+	}
+	if code, _ := get("/metrics"); code != http.StatusNotFound {
+		t.Fatalf("/metrics without registry: %d, want 404", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+}
+
+func TestServe(t *testing.T) {
+	reg := NewRegistry(nil)
+	reg.Counter("x").Inc()
+	addr, closeFn, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "\"x\": 1") {
+		t.Fatalf("served metrics missing counter: %s", body)
+	}
+}

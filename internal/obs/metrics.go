@@ -1,0 +1,458 @@
+// Package obs is the module's unified telemetry plane: a zero-dependency,
+// allocation-conscious metrics registry (atomic counters, gauges, and
+// log-bucketed histograms with quantile snapshots), a query-lifecycle
+// tracer that records each resolution as a span tree, and the HTTP
+// introspection handlers the daemons mount at /metrics and /trace.
+//
+// Every experiment and both daemons report from the same source: a
+// *Registry handed to the resolver, farm, cache, and authoritative server.
+// All read paths are snapshot-based and deterministic (sorted keys, clock
+// injected via simnet.Clock), so virtual-time experiments produce
+// byte-identical telemetry across runs.
+//
+// Hot-path cost is one atomic op per counter increment and one pointer
+// check when a handle is nil: every method on *Counter, *Gauge, *Histogram,
+// and *Span is nil-safe, so instrumented code needs no "is telemetry on"
+// branches of its own.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsttl/internal/simnet"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil *Counter is
+// a valid no-op, so call sites never branch on whether metrics are enabled.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The nil *Gauge is a valid no-op.
+type Gauge struct {
+	bits atomic.Uint64 // math.Float64bits encoding
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// numBuckets is the fixed histogram shape: bucket 0 holds values below 1,
+// bucket i (1 ≤ i ≤ 62) holds [2^(i-1), 2^i), and bucket 63 is the
+// overflow. Power-of-two bucketing keeps Observe allocation-free and
+// branch-light (one bits.Len64) while spanning microseconds to weeks.
+const numBuckets = 64
+
+// Histogram is a concurrent log-bucketed histogram. Observe is lock-free
+// and allocation-free; quantiles are computed from a Snapshot. The nil
+// *Histogram is a valid no-op. Construct with NewHistogram (or through a
+// Registry), which seeds the extreme trackers.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // math.Float64bits encoding, CAS-updated
+	min     atomic.Uint64 // math.Float64bits; valid only when count > 0
+	max     atomic.Uint64 // math.Float64bits; valid only when count > 0
+	buckets [numBuckets]atomic.Uint64
+}
+
+// NewHistogram builds an empty histogram with min/max seeded to ±Inf so
+// the first concurrent observers converge on the true extremes.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.Float64bits(math.Inf(1)))
+	h.max.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v float64) int {
+	if v < 1 {
+		return 0
+	}
+	if v >= float64(uint64(1)<<62) {
+		return numBuckets - 1
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketBounds returns bucket i's [lo, hi) value range.
+func bucketBounds(i int) (lo, hi float64) {
+	switch {
+	case i == 0:
+		return 0, 1
+	case i >= numBuckets-1:
+		return float64(uint64(1) << 62), math.Inf(1)
+	default:
+		return float64(uint64(1) << (i - 1)), float64(uint64(1) << i)
+	}
+}
+
+// Observe records one value. Negative values clamp into the lowest bucket.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	casExtreme(&h.min, v, func(cur float64) bool { return v < cur })
+	casExtreme(&h.max, v, func(cur float64) bool { return v > cur })
+}
+
+// casExtreme moves the float64-bits cell to v while better(current) holds;
+// the cells start at ±Inf (NewHistogram), so any first observation wins.
+func casExtreme(cell *atomic.Uint64, v float64, better func(float64) bool) {
+	for {
+		old := cell.Load()
+		if !better(math.Float64frombits(old)) {
+			return
+		}
+		if cell.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in milliseconds, the unit every latency
+// histogram in the module uses.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Bucket is one populated histogram bucket in a snapshot.
+type Bucket struct {
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"` // math.MaxFloat64 stands in for +inf in JSON
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram with the
+// quantiles the paper's distribution tables report.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Min     float64  `json:"min"`
+	Max     float64  `json:"max"`
+	P50     float64  `json:"p50"`
+	P90     float64  `json:"p90"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's state and computes p50/p90/p99.
+// Concurrent Observes may land between field reads; the result is still a
+// plausible histogram (quantiles derive from the copied buckets alone).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var s HistogramSnapshot
+	var counts [numBuckets]uint64
+	total := uint64(0)
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.Count = total
+	if total == 0 {
+		return s
+	}
+	s.Sum = math.Float64frombits(h.sum.Load())
+	s.Min = math.Float64frombits(h.min.Load())
+	s.Max = math.Float64frombits(h.max.Load())
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		if math.IsInf(hi, 1) {
+			hi = math.MaxFloat64
+		}
+		s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: n})
+	}
+	s.P50 = quantileFromBuckets(counts[:], total, 0.50, s.Min, s.Max)
+	s.P90 = quantileFromBuckets(counts[:], total, 0.90, s.Min, s.Max)
+	s.P99 = quantileFromBuckets(counts[:], total, 0.99, s.Min, s.Max)
+	return s
+}
+
+// Quantile interpolates the q-th quantile from the snapshot's buckets,
+// clamped to the observed [Min, Max]. It returns 0 for an empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	var counts [numBuckets]uint64
+	for _, b := range s.Buckets {
+		counts[bucketOf(b.Lo)] = b.Count
+	}
+	return quantileFromBuckets(counts[:], s.Count, q, s.Min, s.Max)
+}
+
+// quantileFromBuckets finds the bucket holding rank q·total and linearly
+// interpolates within it, clamping to the observed extremes so a
+// single-bucket histogram reports exact-ish values.
+func quantileFromBuckets(counts []uint64, total uint64, q float64, minV, maxV float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next || i == len(counts)-1 {
+			lo, hi := bucketBounds(i)
+			if math.IsInf(hi, 1) {
+				hi = maxV
+			}
+			frac := 0.0
+			if n > 0 {
+				frac = (rank - cum) / float64(n)
+			}
+			v := lo + frac*(hi-lo)
+			if v < minV {
+				v = minV
+			}
+			if v > maxV {
+				v = maxV
+			}
+			return v
+		}
+		cum = next
+	}
+	return maxV
+}
+
+// Registry is a concurrent name → metric table. Get-or-create accessors
+// hand out stable handles; hot paths hold the handle and never touch the
+// registry again. The nil *Registry is valid: its accessors return nil
+// handles, which are themselves no-ops.
+type Registry struct {
+	clock simnet.Clock
+
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() float64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry builds a registry on the given clock (nil means wall clock).
+// The clock only timestamps snapshots; metrics themselves are clock-free,
+// so one registry serves both simulated and wall-time daemons.
+func NewRegistry(clock simnet.Clock) *Registry {
+	if clock == nil {
+		clock = simnet.WallClock{}
+	}
+	return &Registry{
+		clock:      clock,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() float64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers fn to be evaluated at snapshot time under name —
+// the bridge for subsystems that already keep their own counters (the
+// cache's Stats, the authoritative query log). Re-registering replaces.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a deterministic point-in-time copy of every metric.
+type Snapshot struct {
+	At         time.Time                    `json:"at"`
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry. Map iteration order does not leak:
+// consumers either index by name or marshal to JSON, which sorts keys.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{At: r.clock.Now()}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Value()
+		}
+	}
+	if len(r.gauges)+len(r.gaugeFuncs) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges)+len(r.gaugeFuncs))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Value()
+		}
+		for n, fn := range r.gaugeFuncs {
+			s.Gauges[n] = fn()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			s.Histograms[n] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// WriteJSON emits the expvar-style snapshot JSON served at /metrics.
+// encoding/json sorts map keys, so the output is deterministic for a given
+// registry state and clock.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// HistogramNames lists the registered histograms in sorted order.
+func (r *Registry) HistogramNames() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

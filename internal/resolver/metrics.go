@@ -1,0 +1,86 @@
+package resolver
+
+import (
+	"time"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/obs"
+)
+
+// Metrics is the resolver's bundle of telemetry handles, pre-resolved from
+// a registry so the hot path pays one atomic op per event and zero registry
+// lookups. A nil *Metrics disables recording at the cost of one pointer
+// check per resolution; the individual handles are themselves nil-safe, so
+// a partially populated Metrics is also valid.
+type Metrics struct {
+	// Resolutions counts client resolutions answered (farm followers that
+	// joined an in-flight query are counted by the leader only).
+	Resolutions *obs.Counter
+	// CacheHits counts resolutions answered without any upstream query.
+	CacheHits *obs.Counter
+	// StaleServed counts answers served past their TTL (RFC 8767).
+	StaleServed *obs.Counter
+	// ServFail counts resolutions that ended in SERVFAIL.
+	ServFail *obs.Counter
+	// Upstream counts upstream exchanges attempted; Timeouts the subset
+	// that timed out.
+	Upstream *obs.Counter
+	Timeouts *obs.Counter
+	// Latency is the per-resolution client latency in milliseconds.
+	Latency *obs.Histogram
+	// UpstreamRTT is the per-exchange round-trip time in milliseconds.
+	UpstreamRTT *obs.Histogram
+	// AnswerTTL is the TTL carried by the first answer record returned to
+	// the client, in seconds — the paper's Figures 1/2 quantity.
+	AnswerTTL *obs.Histogram
+}
+
+// Metric names under which NewMetrics registers the resolver's telemetry.
+const (
+	MetricResolutions = "resolver.resolutions"
+	MetricCacheHits   = "resolver.cache_hits"
+	MetricStaleServed = "resolver.stale_served"
+	MetricServFail    = "resolver.servfail"
+	MetricUpstream    = "resolver.upstream_queries"
+	MetricTimeouts    = "resolver.upstream_timeouts"
+	MetricLatency     = "resolver.latency_ms"
+	MetricUpstreamRTT = "resolver.upstream_rtt_ms"
+	MetricAnswerTTL   = "resolver.answer_ttl_s"
+)
+
+// NewMetrics resolves the standard handle set from reg. A nil registry
+// yields a Metrics of nil handles, which records nothing — callers can
+// attach it unconditionally.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Resolutions: reg.Counter(MetricResolutions),
+		CacheHits:   reg.Counter(MetricCacheHits),
+		StaleServed: reg.Counter(MetricStaleServed),
+		ServFail:    reg.Counter(MetricServFail),
+		Upstream:    reg.Counter(MetricUpstream),
+		Timeouts:    reg.Counter(MetricTimeouts),
+		Latency:     reg.Histogram(MetricLatency),
+		UpstreamRTT: reg.Histogram(MetricUpstreamRTT),
+		AnswerTTL:   reg.Histogram(MetricAnswerTTL),
+	}
+}
+
+// observeResolution books one completed client resolution.
+func (m *Metrics) observeResolution(res *Result) {
+	m.Resolutions.Inc()
+	if res.CacheHit {
+		m.CacheHits.Inc()
+	}
+	if res.Stale {
+		m.StaleServed.Inc()
+	}
+	if res.Msg != nil && res.Msg.Header.RCode == dnswire.RCodeServFail {
+		m.ServFail.Inc()
+	}
+	m.Upstream.Add(uint64(res.Queries))
+	m.Timeouts.Add(uint64(res.Timeouts))
+	m.Latency.Observe(float64(res.Latency) / float64(time.Millisecond))
+	if res.Msg != nil && len(res.Msg.Answer) > 0 {
+		m.AnswerTTL.Observe(float64(res.AnswerTTL))
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"dnsttl/internal/cache"
 	"dnsttl/internal/dnswire"
+	"dnsttl/internal/obs"
 	"dnsttl/internal/simnet"
 	"dnsttl/internal/zone"
 )
@@ -40,6 +41,9 @@ type Trace struct {
 	AnswerTTL uint32
 	// Validated is true when DNSSEC validation succeeded for the answer.
 	Validated bool
+	// Span is the root of this resolution's lifecycle trace; nil unless the
+	// resolver has a Tracer attached. Read-only once the resolution returns.
+	Span *obs.Span
 }
 
 // Result is a completed resolution.
@@ -67,6 +71,16 @@ type Resolver struct {
 	// LocalRootZone is the RFC 7706 mirror used when Policy.LocalRoot is
 	// set.
 	LocalRootZone *zone.Zone
+	// Obs, when non-nil, records per-resolution counters and latency/TTL
+	// histograms (see NewMetrics). Nil disables recording at the cost of
+	// one pointer check per resolution.
+	Obs *Metrics
+	// Tracer, when non-nil, records every resolution as a span tree —
+	// cache lookup, per-zone iteration steps, upstream exchanges, and the
+	// TTL decisions taken at each — retrievable via the tracer (and the
+	// daemons' /trace endpoint). Nil keeps the hot path to one pointer
+	// check per instrumentation point.
+	Tracer *obs.Tracer
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -115,12 +129,24 @@ func (r *Resolver) Resolve(name dnswire.Name, qtype dnswire.Type) (*Result, erro
 		Header:   dnswire.Header{QR: true, RA: true},
 		Question: []dnswire.Question{{Name: name, Type: qtype, Class: dnswire.ClassIN}},
 	}}
+	if r.Tracer != nil {
+		res.Span = r.Tracer.Start("resolve " + string(name) + " " + qtype.String())
+	}
 	err := r.resolveInto(name, qtype, res, 0)
 	if err != nil {
 		res.Msg.Header.RCode = dnswire.RCodeServFail
 	}
 	if len(res.Msg.Answer) > 0 {
 		res.AnswerTTL = res.Msg.Answer[0].TTL
+	}
+	if sp := res.Span; sp != nil {
+		sp.Annotate("rcode", res.Msg.Header.RCode.String())
+		sp.AnnotateUint("answer_ttl_s", uint64(res.AnswerTTL))
+		sp.AnnotateUint("upstream_queries", uint64(res.Queries))
+		r.Tracer.Keep(sp)
+	}
+	if m := r.Obs; m != nil {
+		m.observeResolution(res)
 	}
 	return res, nil
 }
@@ -137,19 +163,48 @@ func (r *Resolver) resolveInto(name dnswire.Name, qtype dnswire.Type, res *Resul
 		if depth == 0 {
 			res.CacheHit = res.Queries == 0
 		}
+		if csp := res.Span.Child("cache lookup"); csp != nil {
+			csp.Annotate("name", string(name))
+			csp.Annotate("outcome", cacheOutcome(e))
+			csp.Annotate("cred", e.Cred.String())
+			csp.AnnotateUint("remaining_ttl_s", uint64(rem))
+			csp.Finish()
+		}
 		r.applyCached(e, rem, name, qtype, res, depth)
 		if r.Policy.Prefetch && rem <= r.Policy.prefetchThreshold() && e.Negative == cache.NotNegative {
+			res.Span.Annotate("prefetch", "triggered")
 			r.prefetch(name, qtype)
 		}
 		return nil
+	}
+	if csp := res.Span.Child("cache lookup"); csp != nil {
+		csp.Annotate("name", string(name))
+		csp.Annotate("outcome", "miss")
+		csp.Finish()
 	}
 
 	// 2. Iterate from the best known servers.
 	return r.iterate(name, qtype, res, depth)
 }
 
+// cacheOutcome labels a cache hit for the lifecycle trace.
+func cacheOutcome(e *cache.Entry) string {
+	switch e.Negative {
+	case cache.NegNXDomain:
+		return "hit-negative-nxdomain"
+	case cache.NegNoData:
+		return "hit-negative-nodata"
+	}
+	return "hit"
+}
+
 // applyCached copies a cache entry into the client answer with decayed TTLs.
 func (r *Resolver) applyCached(e *cache.Entry, rem uint32, name dnswire.Name, qtype dnswire.Type, res *Result, depth int) {
+	if sp := res.Span; sp != nil {
+		if out := r.clampTTL(rem); out != rem {
+			sp.Annotate("ttl_clamp", clampLabel(rem, out))
+		}
+	}
 	switch e.Negative {
 	case cache.NegNXDomain:
 		res.Msg.Header.RCode = dnswire.RCodeNXDomain
@@ -204,10 +259,21 @@ func (r *Resolver) iterate(name dnswire.Name, qtype dnswire.Type, res *Result, d
 	for step := 0; step < maxSteps; step++ {
 		zoneName, servers := r.bestServers(name, res, depth)
 
+		ssp := res.Span.Child("step")
+		if ssp != nil {
+			ssp.AnnotateUint("n", uint64(step+1))
+			ssp.Annotate("zone", string(zoneName))
+		}
+
 		// RFC 7706: referrals for names at or below a TLD can be taken
 		// from the local root mirror without a query.
 		if r.Policy.LocalRoot && r.LocalRootZone != nil && zoneName.IsRoot() {
-			if done, err := r.localRootStep(name, qtype, res); done {
+			if ssp != nil {
+				ssp.Annotate("source", "local-root-mirror")
+			}
+			done, err := r.localRootStep(name, qtype, res)
+			ssp.Finish()
+			if done {
 				return err
 			}
 			// localRootStep cached a referral; go around.
@@ -215,15 +281,20 @@ func (r *Resolver) iterate(name dnswire.Name, qtype dnswire.Type, res *Result, d
 		}
 
 		if len(servers) == 0 {
+			ssp.Annotate("outcome", "no-servers")
+			ssp.Finish()
 			return r.fail(name, qtype, res, fmt.Errorf("resolver: no servers for %s", zoneName))
 		}
-		resp, server, err := r.exchangeAny(servers, name, qtype, res)
+		resp, server, err := r.exchangeAny(servers, name, qtype, res, ssp)
 		if err != nil {
+			ssp.Annotate("outcome", "exchange-failed")
+			ssp.Finish()
 			return r.fail(name, qtype, res, err)
 		}
 		r.pinSticky(zoneName, server)
 
-		done, err := r.absorb(resp, server, zoneName, name, qtype, res, depth)
+		done, err := r.absorb(resp, server, zoneName, name, qtype, res, depth, ssp)
+		ssp.Finish()
 		if done || err != nil {
 			return err
 		}
@@ -232,18 +303,26 @@ func (r *Resolver) iterate(name dnswire.Name, qtype dnswire.Type, res *Result, d
 }
 
 // absorb caches a response's contents and decides what happens next.
-// done=true means the client answer (or error) is complete.
-func (r *Resolver) absorb(resp *dnswire.Message, server netip.Addr, zoneName, name dnswire.Name, qtype dnswire.Type, res *Result, depth int) (bool, error) {
+// done=true means the client answer (or error) is complete. The TTL
+// decision taken at this step (cap/floor clamp, negative fallback) is
+// annotated on sp, the current step's span.
+func (r *Resolver) absorb(resp *dnswire.Message, server netip.Addr, zoneName, name dnswire.Name, qtype dnswire.Type, res *Result, depth int, sp *obs.Span) (bool, error) {
 	now := r.Clock.Now()
 
 	switch {
 	case resp.Header.RCode == dnswire.RCodeNXDomain:
-		r.cacheNegative(resp, name, qtype, cache.NegNXDomain, now)
+		negTTL, fromSOA := r.cacheNegative(resp, name, qtype, cache.NegNXDomain, now)
+		if sp != nil {
+			sp.Annotate("outcome", "nxdomain")
+			sp.Annotate("neg_ttl_source", negSource(fromSOA))
+			sp.AnnotateUint("neg_ttl_s", uint64(negTTL))
+		}
 		res.Msg.Header.RCode = dnswire.RCodeNXDomain
 		res.FinalServer = server
 		return true, nil
 
 	case resp.Header.RCode != dnswire.RCodeNoError:
+		sp.Annotate("outcome", "upstream-error")
 		return true, r.fail(name, qtype, res, fmt.Errorf("resolver: upstream rcode %s", resp.Header.RCode))
 
 	case len(resp.Answer) > 0:
@@ -255,6 +334,9 @@ func (r *Resolver) absorb(resp *dnswire.Message, server netip.Addr, zoneName, na
 		var lastCNAME dnswire.Name
 		answered := false
 		for _, rr := range resp.Answer {
+			if sp != nil && r.clampTTL(rr.TTL) != rr.TTL {
+				sp.Annotate("ttl_clamp", clampLabel(rr.TTL, r.clampTTL(rr.TTL)))
+			}
 			rr.TTL = r.clampTTL(rr.TTL)
 			if rr.Name == name && rr.Type == qtype {
 				res.Msg.AddAnswer(rr)
@@ -265,8 +347,12 @@ func (r *Resolver) absorb(resp *dnswire.Message, server netip.Addr, zoneName, na
 				name = lastCNAME // chain may continue in this response
 			}
 		}
+		sp.Annotate("outcome", "answer")
 		if !answered && lastCNAME != "" {
 			// Chase the alias.
+			if sp != nil {
+				sp.Annotate("cname", string(lastCNAME))
+			}
 			return true, r.resolveInto(lastCNAME, qtype, res, depth+1)
 		}
 		if !answered {
@@ -274,14 +360,22 @@ func (r *Resolver) absorb(resp *dnswire.Message, server netip.Addr, zoneName, na
 		}
 		if r.Policy.Validate && resp.Header.AA && depth < maxDepth {
 			if err := r.validateAnswer(server, name, qtype, resp.AnswersFor(name, qtype), res, depth); err != nil {
+				sp.Annotate("dnssec", "bogus")
 				return true, r.fail(name, qtype, res, err)
 			}
 			res.Msg.Header.AD = res.Validated
+			if sp != nil && res.Validated {
+				sp.Annotate("dnssec", "validated")
+			}
 		}
 		return true, nil
 
 	case resp.IsReferral():
 		child := r.cacheReferral(resp, now)
+		if sp != nil {
+			sp.Annotate("outcome", "referral")
+			sp.Annotate("child", string(child))
+		}
 		if child == "" || !name.IsSubdomainOf(child) {
 			return true, r.fail(name, qtype, res, fmt.Errorf("resolver: lame referral from %s", server))
 		}
@@ -291,6 +385,7 @@ func (r *Resolver) absorb(resp *dnswire.Message, server netip.Addr, zoneName, na
 		// Parent-centric resolvers can now answer NS/address questions
 		// straight from the referral data they just cached.
 		if e, rem, ok := r.answerFromCache(name, qtype); ok {
+			sp.Annotate("answered_from", "referral-data")
 			res.FinalServer = server
 			r.applyCached(e, rem, name, qtype, res, depth)
 			return true, nil
@@ -299,10 +394,28 @@ func (r *Resolver) absorb(resp *dnswire.Message, server netip.Addr, zoneName, na
 
 	default:
 		// NODATA.
-		r.cacheNegative(resp, name, qtype, cache.NegNoData, now)
+		negTTL, fromSOA := r.cacheNegative(resp, name, qtype, cache.NegNoData, now)
+		if sp != nil {
+			sp.Annotate("outcome", "nodata")
+			sp.Annotate("neg_ttl_source", negSource(fromSOA))
+			sp.AnnotateUint("neg_ttl_s", uint64(negTTL))
+		}
 		res.FinalServer = server
 		return true, nil
 	}
+}
+
+// negSource labels where a negative TTL came from.
+func negSource(fromSOA bool) string {
+	if fromSOA {
+		return "soa-minimum"
+	}
+	return "policy-fallback"
+}
+
+// clampLabel renders a TTL cap/floor decision for the lifecycle trace.
+func clampLabel(in, out uint32) string {
+	return fmt.Sprintf("%d->%d", in, out)
 }
 
 // fail is the terminal error path: serve stale if allowed, else SERVFAIL.
@@ -310,6 +423,7 @@ func (r *Resolver) fail(name dnswire.Name, qtype dnswire.Type, res *Result, err 
 	if r.Policy.ServeStale {
 		if e, rem, ok := r.Cache.GetStale(name, qtype); ok && e.Negative == cache.NotNegative {
 			res.Stale = true
+			res.Span.Annotate("serve_stale", string(name))
 			for _, rr := range e.RRs {
 				rr.TTL = rem
 				res.Msg.AddAnswer(rr)
@@ -321,8 +435,9 @@ func (r *Resolver) fail(name dnswire.Name, qtype dnswire.Type, res *Result, err 
 }
 
 // exchangeAny tries the candidate servers (sticky resolvers always lead
-// with their pinned choice) until one responds.
-func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dnswire.Type, res *Result) (*dnswire.Message, netip.Addr, error) {
+// with their pinned choice) until one responds. Each attempt becomes an
+// "exchange" child of sp, the current step's span.
+func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dnswire.Type, res *Result, sp *obs.Span) (*dnswire.Message, netip.Addr, error) {
 	order := r.serverOrder(servers)
 	tries := r.Policy.maxRetries()
 	if tries > len(order) {
@@ -333,6 +448,10 @@ func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dn
 	var lastErr error
 	for i := 0; i < tries; i++ {
 		server := order[i]
+		esp := sp.Child("exchange")
+		if esp != nil {
+			esp.Annotate("server", server.String())
+		}
 		qID := r.id()
 		qs.msg.Reset()
 		qs.msg.Header = dnswire.Header{ID: qID, Opcode: dnswire.OpcodeQuery}
@@ -343,25 +462,39 @@ func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dn
 			Data: dnswire.OPT{UDPSize: dnswire.MaxEDNSSize}})
 		wire, err := qs.encode()
 		if err != nil {
+			esp.Finish()
 			return nil, netip.Addr{}, err
 		}
 		res.Queries++
 		respWire, rtt, err := r.Net.Exchange(r.Addr, server, wire)
 		res.Latency += rtt
+		if m := r.Obs; m != nil {
+			m.UpstreamRTT.Observe(float64(rtt) / float64(time.Millisecond))
+		}
+		if esp != nil {
+			esp.AnnotateUint("rtt_us", uint64(rtt/time.Microsecond))
+		}
 		if err != nil {
 			res.Timeouts++
+			esp.Annotate("error", "timeout")
+			esp.Finish()
 			lastErr = err
 			continue
 		}
 		resp, err := dnswire.Decode(respWire)
 		if err != nil {
+			esp.Annotate("error", "decode")
+			esp.Finish()
 			lastErr = err
 			continue
 		}
 		if resp.Header.ID != qID {
+			esp.Annotate("error", "id-mismatch")
+			esp.Finish()
 			lastErr = fmt.Errorf("resolver: response ID mismatch")
 			continue
 		}
+		esp.Finish()
 		return resp, server, nil
 	}
 	if lastErr == nil {

@@ -196,18 +196,23 @@ var answerableTypes = []dnswire.Type{
 }
 
 // cacheNegative stores an RFC 2308 negative answer; the TTL is the SOA
-// minimum bounded by the SOA record's own TTL.
-func (r *Resolver) cacheNegative(resp *dnswire.Message, name dnswire.Name, qtype dnswire.Type, kind cache.NegativeKind, now time.Time) {
-	ttl := uint32(300)
+// minimum bounded by the SOA record's own TTL, or the policy fallback when
+// the response carries no SOA, clamped like any other TTL. It reports the
+// TTL stored and whether it was SOA-derived, for the lifecycle trace.
+func (r *Resolver) cacheNegative(resp *dnswire.Message, name dnswire.Name, qtype dnswire.Type, kind cache.NegativeKind, now time.Time) (uint32, bool) {
+	ttl := r.Policy.negTTLFallback()
+	fromSOA := false
 	for _, rr := range resp.Authority {
 		if soa, ok := rr.Data.(dnswire.SOA); ok {
 			ttl = soa.Minimum
 			if rr.TTL < ttl {
 				ttl = rr.TTL
 			}
+			fromSOA = true
 			break
 		}
 	}
+	ttl = r.Policy.clampTTL(ttl)
 	r.Cache.Put(cache.Entry{
 		Key:      cache.Key{Name: name, Type: qtype},
 		TTL:      ttl,
@@ -215,6 +220,7 @@ func (r *Resolver) cacheNegative(resp *dnswire.Message, name dnswire.Name, qtype
 		Cred:     cache.CredAnswerAuth,
 		Negative: kind,
 	})
+	return ttl, fromSOA
 }
 
 // localRootStep consults the RFC 7706 root mirror instead of querying a

@@ -39,7 +39,9 @@ func (r *Resolver) validateAnswer(server netip.Addr, name dnswire.Name, qtype dn
 // fetchRRSIG asks the answering server for the signature covering
 // (name, qtype).
 func (r *Resolver) fetchRRSIG(server netip.Addr, name dnswire.Name, qtype dnswire.Type, res *Result) (dnswire.RR, bool, error) {
-	resp, _, err := r.exchangeAny([]netip.Addr{server}, name, dnswire.TypeRRSIG, res)
+	sp := res.Span.Child("fetch rrsig")
+	resp, _, err := r.exchangeAny([]netip.Addr{server}, name, dnswire.TypeRRSIG, res, sp)
+	sp.Finish()
 	if err != nil {
 		return dnswire.RR{}, false, err
 	}
