@@ -263,6 +263,33 @@ func resolveBenches() []benchResult {
 				w.clock.Advance(time.Second)
 			}
 		}),
+		run("resolve/retry_cold_walk", func(b *testing.B) {
+			// Full retry plane armed on a healthy network: the happy path
+			// must cost the same as resolve/cold_walk (no retries fire, and
+			// the plane is allocation-neutral — pinned by
+			// TestRetryPlaneAllocNeutral).
+			w := newResolveWorld(1)
+			pol := resolver.DefaultPolicy()
+			pol.Retry = resolver.RetryPolicy{
+				Attempts: 4, Backoff: 200 * time.Millisecond, Jitter: 0.5,
+				OrderBySRTT: true,
+			}
+			r := resolver.New(netip.MustParseAddr("10.50.0.1"), pol,
+				w.net, w.clock, []netip.Addr{w.rootAddr}, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Cache.Flush()
+				res, err := r.Resolve(name, dnswire.TypeA)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Retries != 0 {
+					b.Fatal("retries fired on a healthy network")
+				}
+				w.clock.Advance(time.Second)
+			}
+		}),
 		run("farm/resolve_shared", func(b *testing.B) {
 			w := newResolveWorld(1)
 			f := farm.New(farm.Config{
@@ -283,8 +310,8 @@ func resolveBenches() []benchResult {
 	}
 }
 
-// sweepBench times the outage sweep (10 independent TTL × serve-stale
-// configurations) serially and with a worker pool, and checks the two runs
+// sweepBench times the outage sweep (25 independent TTL × outage-regime ×
+// policy configurations) serially and with a worker pool, and checks the two runs
 // agree. On a single-CPU host the wall-clock speedup is necessarily ≈1; the
 // worker count and CPU count are recorded so the number can be read
 // honestly.
@@ -319,7 +346,7 @@ func sweepBench(probes int) sweepResult {
 	}
 	return sweepResult{
 		Experiment:      "outage-sweep",
-		Configs:         10,
+		Configs:         25,
 		Probes:          probes,
 		SerialSeconds:   serialDur.Seconds(),
 		ParallelWorkers: workers,

@@ -31,6 +31,8 @@ func main() {
 		timeout = flag.Duration("timeout", 3*time.Second, "query timeout")
 		rd      = flag.Bool("rd", true, "set the recursion-desired flag")
 		trace   = flag.Bool("trace", false, "iterate from -server like dig +trace and print the span tree")
+		retries = flag.Int("retries", 0, "with -trace: upstream attempts per step (0 = single-shot)")
+		hedge   = flag.Duration("hedge", 0, "with -trace: hedge delay for a second query to the next-best server (0 = off)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -54,7 +56,12 @@ func main() {
 		os.Exit(2)
 	}
 	if *trace {
-		runTrace(addr, uint16(*port), *timeout, name, qtype)
+		rp := dnsttl.RetryPolicy{Attempts: *retries, Hedge: *hedge}
+		if *retries > 0 {
+			rp.Backoff = 250 * time.Millisecond
+			rp.Jitter = 0.5
+		}
+		runTrace(addr, uint16(*port), *timeout, name, qtype, rp)
 		return
 	}
 
@@ -84,8 +91,11 @@ func main() {
 // the library records — cache lookup, zone-by-zone iteration, individual
 // upstream exchanges with RTTs and TTL decisions — is printed as a span
 // tree.
-func runTrace(root netip.Addr, port uint16, timeout time.Duration, name dnsttl.Name, qtype dnsttl.Type) {
+func runTrace(root netip.Addr, port uint16, timeout time.Duration, name dnsttl.Name, qtype dnsttl.Type, rp dnsttl.RetryPolicy) {
+	pol := dnsttl.DefaultPolicy()
+	pol.Retry = rp
 	client, err := dnsttl.NewClient(dnsttl.ClientConfig{
+		Policy: pol,
 		Roots:  []netip.Addr{root},
 		Net:    dnsttl.UDPNet{Port: port, Timeout: timeout},
 		Tracer: dnsttl.NewTracer(nil),

@@ -40,6 +40,10 @@ func main() {
 		placement     = flag.String("placement", "random", "farm query placement: random, roundrobin, or hash")
 		coalesce      = flag.Bool("coalesce", true, "coalesce identical in-flight queries across the farm")
 		metrics       = flag.String("metrics", "", "HTTP address for /metrics and /trace introspection (empty = off)")
+		retries       = flag.Int("retries", 0, "upstream attempts per iteration step (0 = legacy single-shot semantics)")
+		backoff       = flag.Duration("backoff", 0, "delay before the first retry, doubling per retry (0 = none)")
+		hedge         = flag.Duration("hedge", 0, "launch a hedged query to the next-best server after this delay (0 = off)")
+		srtt          = flag.Bool("srtt", false, "order candidate servers by smoothed RTT instead of shuffling")
 	)
 	flag.Parse()
 	if *roots == "" {
@@ -64,6 +68,13 @@ func main() {
 		pol.Centricity = dnsttl.ParentCentric
 	}
 	pol.LocalRoot = *localRoot
+	pol.Retry = dnsttl.RetryPolicy{
+		Attempts:    *retries,
+		Backoff:     *backoff,
+		Jitter:      0.5,
+		Hedge:       *hedge,
+		OrderBySRTT: *srtt,
+	}
 
 	cfg := dnsttl.ClientConfig{
 		Policy:    pol,

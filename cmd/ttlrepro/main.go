@@ -27,6 +27,7 @@ func main() {
 		crawlScale = flag.Float64("crawlscale", 0, "override crawl list scale")
 		seed       = flag.Int64("seed", 42, "random seed")
 		workers    = flag.Int("workers", 0, "worker pool for sweep experiments (0 = GOMAXPROCS, 1 = serial; results are identical)")
+		chaos      = flag.String("chaos", "", "custom fault schedule for the chaos experiment, e.g. 'outage:192.88.0.7:1200s+2400s' (see ParseFaultSchedule)")
 		asJSON     = flag.Bool("json", false, "emit reports as JSON lines")
 		csvDir     = flag.String("csvdir", "", "also write each figure's CDF series as CSV into this directory")
 	)
@@ -77,6 +78,7 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Workers = *workers
+	sc.Chaos = *chaos
 
 	if *experiment == "all" {
 		reports, err := dnsttl.RunAllExperiments(sc)

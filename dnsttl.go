@@ -108,6 +108,11 @@ type (
 	Centricity = resolver.Centricity
 	// Credibility ranks cached data per RFC 2181 §5.4.1.
 	Credibility = cache.Credibility
+	// RetryPolicy configures the resolver's failure handling: attempts,
+	// exponential backoff with deterministic jitter, per-attempt and overall
+	// deadlines, hedged queries, and SRTT-based server ordering. The zero
+	// value preserves legacy single-shot semantics.
+	RetryPolicy = resolver.RetryPolicy
 )
 
 // Centricities.
@@ -129,6 +134,26 @@ type (
 
 // NewVirtualClock returns a virtual clock at the simulation epoch.
 func NewVirtualClock() *VirtualClock { return simnet.NewVirtualClock() }
+
+// Fault injection (the chaos plane).
+type (
+	// Fault is one scripted fault window (outage, loss burst, latency
+	// spike, SERVFAIL storm, truncation, flapping).
+	Fault = simnet.Fault
+	// FaultSchedule is a deterministic, clock-driven script of fault
+	// windows, installable on a simnet.Network's Faults field.
+	FaultSchedule = simnet.FaultSchedule
+)
+
+// NewFaultSchedule builds a schedule from fault windows.
+func NewFaultSchedule(faults ...Fault) *FaultSchedule { return simnet.NewFaultSchedule(faults...) }
+
+// ParseFaultSchedule parses the textual schedule grammar, e.g.
+// "outage:192.88.0.7:1200s+2400s;loss:*:0s+600s:0.5". See the simnet
+// package for the full grammar.
+func ParseFaultSchedule(spec string) (*FaultSchedule, error) {
+	return simnet.ParseFaultSchedule(spec)
+}
 
 // Operator guidance (the paper's §6, as a library).
 type (

@@ -29,6 +29,11 @@ type ExperimentScale struct {
 	// 0 means GOMAXPROCS; 1 forces the serial path. Results are identical
 	// at any setting.
 	Workers int
+	// Chaos optionally replaces the canned chaos-harness scenarios with one
+	// custom fault schedule in the ParseFaultSchedule grammar, e.g.
+	// "outage:192.88.0.7:1200s+2400s;loss:*:0s+600s:0.5". Only the "chaos"
+	// experiment reads it.
+	Chaos string
 }
 
 // QuickScale is suitable for tests and demos (seconds).
@@ -48,7 +53,7 @@ var ExperimentIDs = []string{
 	"table8", "table9", "figure10", "table10",
 	"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 	"dnssec", "hitrate", "outage-sweep", "propagation", "parent-child",
-	"farm-fragmentation",
+	"farm-fragmentation", "chaos",
 }
 
 // RunExperiment regenerates one paper artifact. IDs are listed in
@@ -114,6 +119,8 @@ func RunExperiment(id string, sc ExperimentScale) (*Report, error) {
 		return experiments.PropagationSweep(sc.Probes/3, sc.Workers, sc.Seed), nil
 	case "farm-fragmentation":
 		return experiments.FarmFragmentation(sc.Probes*20, sc.Workers, sc.Seed), nil
+	case "chaos":
+		return experiments.ChaosExperiment(max(sc.Probes/40, 2), sc.Workers, sc.Seed, sc.Chaos), nil
 	}
 	return nil, fmt.Errorf("dnsttl: unknown experiment %q (known: %v)", id, ExperimentIDs)
 }
@@ -144,7 +151,7 @@ func RunAllExperiments(sc ExperimentScale) ([]*Report, error) {
 		"figure10", "table10",
 		"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 		"dnssec", "hitrate", "outage-sweep", "propagation",
-		"farm-fragmentation",
+		"farm-fragmentation", "chaos",
 	} {
 		r, err := RunExperiment(id, sc)
 		if err != nil {

@@ -8,18 +8,26 @@ import (
 	"dnsttl/internal/dnswire"
 	"dnsttl/internal/population"
 	"dnsttl/internal/resolver"
+	"dnsttl/internal/simnet"
 	"dnsttl/internal/stats"
 )
 
 // OutageSweep quantifies the §6.1 resilience argument ("longer caching is
 // more robust to DDoS attacks") the way Moura et al. [36] did: sweep the
-// record TTL, knock every authoritative out for a fixed window, and measure
+// record TTL, degrade the authoritative path for a fixed window, and measure
 // how many client queries still get answers. Caching rides out any outage
 // shorter than the TTL; serve-stale extends that to arbitrary outages.
 //
+// Two outage regimes are swept. The *full* outage knocks every relevant
+// authoritative hard-down (the naive model). The *partial* outage is the
+// realistic shape Moura et al. observed during the root DDoS events: servers
+// stay up but shed most packets and answer slowly — which is exactly the
+// regime where a resolver's retry plane (Policy.Retry) matters, because a
+// second or third attempt has an independent chance of getting through.
+//
 // The TTL × policy grid is fanned across workers (see Sweep); each cell
-// builds its own seeded testbed, so the report is identical at any worker
-// count.
+// builds its own seeded testbed and fault schedule, so the report is
+// identical at any worker count.
 func OutageSweep(probes, workers int, seed int64) *Report {
 	ttls := []uint32{60, 600, 1800, 3600, 7200}
 	const (
@@ -27,21 +35,69 @@ func OutageSweep(probes, workers int, seed int64) *Report {
 		outageStart  = 3  // outage begins at t=30 min
 		outageLength = 6  // ... and lasts 1 h (rounds 3-8)
 		interval     = 600 * time.Second
+		// Partial-outage shape: servers drop ~70 % of packets and answer
+		// 3× slower, per the root-DDoS measurements.
+		partialLoss   = 0.7
+		partialFactor = 3
 	)
 
-	run := func(ttl uint32, serveStale bool) float64 {
+	// One sweep cell: a TTL crossed with an outage regime and a resolver
+	// policy. partial selects the loss-burst fault schedule over the
+	// hard-down window; retry arms the retry plane; stale arms RFC 8767.
+	type cell struct {
+		ttl                   uint32
+		partial, retry, stale bool
+	}
+	var cells []cell
+	for _, ttl := range ttls {
+		cells = append(cells,
+			cell{ttl: ttl},                                          // full outage, strict TTL
+			cell{ttl: ttl, stale: true},                             // full outage, serve-stale
+			cell{ttl: ttl, partial: true},                           // partial outage, legacy resolver
+			cell{ttl: ttl, partial: true, retry: true},              // partial outage, retry plane
+			cell{ttl: ttl, partial: true, retry: true, stale: true}, // retry + serve-stale
+		)
+	}
+
+	run := func(c cell) float64 {
 		tb := NewTestbed(seed)
-		if !tb.Ct.SetTTL(dnswire.NewName("www.cachetest.net"), dnswire.TypeA, ttl) {
+		if !tb.Ct.SetTTL(dnswire.NewName("www.cachetest.net"), dnswire.TypeA, c.ttl) {
 			panic("missing record")
 		}
 		pol := resolver.DefaultPolicy()
-		pol.ServeStale = serveStale
+		pol.ServeStale = c.stale
+		if c.retry {
+			pol.Retry = resolver.RetryPolicy{
+				Attempts:    4,
+				Backoff:     200 * time.Millisecond,
+				Jitter:      0.5,
+				OrderBySRTT: true,
+			}
+		}
+		if c.partial {
+			fs := simnet.NewFaultSchedule()
+			fs.Seed = seed
+			start := outageStart * interval
+			length := outageLength * interval
+			fs.Add(
+				simnet.LossBurst(tb.RootAddr, start, length, partialLoss),
+				simnet.LatencySpike(tb.RootAddr, start, length, partialFactor),
+				simnet.LossBurst(tb.NetAddr, start, length, partialLoss),
+				simnet.LatencySpike(tb.NetAddr, start, length, partialFactor),
+				simnet.LossBurst(tb.CtAddr, start, length, partialLoss),
+				simnet.LatencySpike(tb.CtAddr, start, length, partialFactor),
+			)
+			tb.Net.Faults = fs
+		}
 		mix := population.Mix{{Name: "bind-like", Weight: 1, Policy: pol}}
 		fleet := tb.Fleet(probes, mix, seed)
 		resps := fleet.Run(tb.Clock, atlas.Schedule{
 			Name: dnswire.NewName("www.cachetest.net"), Type: dnswire.TypeA,
 			Interval: interval, Rounds: rounds, Jitter: true,
 			OnRound: func(r int) {
+				if c.partial {
+					return // the fault schedule scripts the window
+				}
 				switch r {
 				case outageStart:
 					_ = tb.Net.SetDown(tb.RootAddr, true)
@@ -67,27 +123,36 @@ func OutageSweep(probes, workers int, seed int64) *Report {
 		return frac(valid, total)
 	}
 
-	// Flatten the (ttl, serve-stale) grid into independent sweep cells:
-	// even index = strict, odd = serve-stale.
-	avail := Sweep(2*len(ttls), workers, func(i int) float64 {
-		return run(ttls[i/2], i%2 == 1)
+	avail := Sweep(len(cells), workers, func(i int) float64 {
+		return run(cells[i])
 	})
 
+	const perTTL = 5
 	tbl := &stats.Table{
-		Title:  "Availability during a 1-hour full outage, by record TTL",
-		Header: []string{"TTL (s)", "strict TTL", "with serve-stale"},
+		Title: "Availability during a 1-hour outage, by record TTL",
+		Header: []string{"TTL (s)", "full/strict", "full/stale",
+			"partial/strict", "partial/retry", "partial/retry+stale"},
 	}
 	m := map[string]float64{}
 	for i, ttl := range ttls {
-		strict, stale := avail[2*i], avail[2*i+1]
+		strict := avail[perTTL*i]
+		stale := avail[perTTL*i+1]
+		partial := avail[perTTL*i+2]
+		retry := avail[perTTL*i+3]
+		retryStale := avail[perTTL*i+4]
 		tbl.AddRow(fmt.Sprintf("%d", ttl),
-			fmt.Sprintf("%.0f%%", 100*strict), fmt.Sprintf("%.0f%%", 100*stale))
+			fmt.Sprintf("%.0f%%", 100*strict), fmt.Sprintf("%.0f%%", 100*stale),
+			fmt.Sprintf("%.0f%%", 100*partial), fmt.Sprintf("%.0f%%", 100*retry),
+			fmt.Sprintf("%.0f%%", 100*retryStale))
 		m[fmt.Sprintf("avail_ttl_%d", ttl)] = strict
 		m[fmt.Sprintf("avail_stale_ttl_%d", ttl)] = stale
+		m[fmt.Sprintf("avail_partial_ttl_%d", ttl)] = partial
+		m[fmt.Sprintf("avail_partial_retry_ttl_%d", ttl)] = retry
+		m[fmt.Sprintf("avail_partial_retry_stale_ttl_%d", ttl)] = retryStale
 	}
 	return &Report{
 		ID:      "§6.1 outage sweep",
-		Title:   "TTLs longer than the attack keep names resolvable; serve-stale covers the rest",
+		Title:   "TTLs longer than the attack keep names resolvable; retries and serve-stale cover the rest",
 		Text:    tbl.String(),
 		Metrics: m,
 	}

@@ -24,4 +24,34 @@ func TestOutageSweep(t *testing.T) {
 	if r.Metric("avail_stale_ttl_60") < 0.9 {
 		t.Errorf("serve-stale at TTL 60 = %.2f, want ≈1", r.Metric("avail_stale_ttl_60"))
 	}
+
+	// Partial outage (loss burst + latency spike): longer TTLs still mean a
+	// higher answered fraction, because cached rounds never touch the
+	// degraded path.
+	prev = -1.0
+	for _, ttl := range []string{"60", "600", "1800", "3600", "7200"} {
+		a := r.Metric("avail_partial_ttl_" + ttl)
+		if a < prev-0.05 {
+			t.Errorf("partial-outage availability dropped at TTL %s: %.2f < %.2f", ttl, a, prev)
+		}
+		prev = a
+	}
+	if lo, hi := r.Metric("avail_partial_ttl_60"), r.Metric("avail_partial_ttl_7200"); hi < lo+0.2 {
+		t.Errorf("partial outage: TTL 7200 (%.2f) should beat TTL 60 (%.2f) clearly", hi, lo)
+	}
+	// The retry plane rescues most of what a single-shot resolver loses to
+	// a 70%-loss window.
+	for _, ttl := range []string{"60", "600", "1800", "3600"} {
+		strict, retry := r.Metric("avail_partial_ttl_"+ttl), r.Metric("avail_partial_retry_ttl_"+ttl)
+		if retry < strict {
+			t.Errorf("retries hurt at TTL %s: %.2f < %.2f", ttl, retry, strict)
+		}
+	}
+	if strict, retry := r.Metric("avail_partial_ttl_60"), r.Metric("avail_partial_retry_ttl_60"); retry < strict+0.2 {
+		t.Errorf("retry plane at TTL 60 = %.2f vs %.2f strict, want a clear win", retry, strict)
+	}
+	// Retry + serve-stale masks the partial outage almost completely.
+	if a := r.Metric("avail_partial_retry_stale_ttl_60"); a < 0.95 {
+		t.Errorf("retry+serve-stale at TTL 60 = %.2f, want ≈1", a)
+	}
 }

@@ -64,6 +64,9 @@ func NewTestbed(seed int64) *Testbed {
 		Servers: make(map[netip.Addr]*authoritative.Server),
 	}
 	tb.Net.LatencyFor = tb.Topo.LatencyFor
+	// Position the network in virtual time so fault schedules (Net.Faults)
+	// see the same clock the caches and drivers do.
+	tb.Net.Clock = tb.Clock
 	var seq addrSeq
 	tb.RootAddr = seq.next()
 	tb.NetAddr = seq.next()

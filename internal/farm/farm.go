@@ -211,6 +211,8 @@ func (f *Farm) Resolve(name dnswire.Name, qtype dnswire.Type) (*resolver.Result,
 		cp.Coalesced = true
 		cp.Queries = 0
 		cp.Timeouts = 0
+		cp.Retries = 0
+		cp.Hedges = 0
 		return &cp, err
 	}
 	return f.account(idx, res, err)

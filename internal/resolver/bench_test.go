@@ -41,3 +41,62 @@ func BenchmarkResolveColdWalk(b *testing.B) {
 		tn.clock.Advance(time.Second)
 	}
 }
+
+// BenchmarkResolveRetryColdWalk is the cold walk with the full retry plane
+// armed (attempts, backoff+jitter, SRTT ordering). On the healthy path the
+// plane must cost nothing: no retries fire, and the only extra work per
+// exchange is the SRTT bookkeeping.
+func BenchmarkResolveRetryColdWalk(b *testing.B) {
+	tn := newTestNet(&testing.T{})
+	pol := DefaultPolicy()
+	pol.Retry = RetryPolicy{
+		Attempts: 4, Backoff: 200 * time.Millisecond, Jitter: 0.5,
+		OrderBySRTT: true,
+	}
+	r := tn.resolver(pol, 1)
+	name := dnswire.NewName("www.cachetest.net")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Cache.Flush()
+		res, err := r.Resolve(name, dnswire.TypeA)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Retries != 0 {
+			b.Fatal("retries fired on a healthy network")
+		}
+		tn.clock.Advance(time.Second)
+	}
+}
+
+// TestRetryPlaneAllocNeutral pins the retry plane's happy-path allocation
+// cost at zero: a cold resolution with the full policy armed allocates no
+// more than the legacy single-shot path, so arming retries fleet-wide is
+// free until a fault actually bites.
+func TestRetryPlaneAllocNeutral(t *testing.T) {
+	name := dnswire.NewName("www.cachetest.net")
+	coldAllocs := func(pol Policy) float64 {
+		tn := newTestNet(t)
+		r := tn.resolver(pol, 1)
+		if _, err := r.Resolve(name, dnswire.TypeA); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(100, func() {
+			r.Cache.Flush()
+			if _, err := r.Resolve(name, dnswire.TypeA); err != nil {
+				t.Fatal(err)
+			}
+			tn.clock.Advance(time.Second)
+		})
+	}
+	retryPol := DefaultPolicy()
+	retryPol.Retry = RetryPolicy{
+		Attempts: 4, Backoff: 200 * time.Millisecond, Jitter: 0.5,
+		OrderBySRTT: true,
+	}
+	base, retry := coldAllocs(DefaultPolicy()), coldAllocs(retryPol)
+	if retry > base+0.5 {
+		t.Errorf("retry plane allocates on the healthy path: %.1f vs %.1f allocs/op", retry, base)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"net/netip"
 	"sync"
+	"time"
 
 	"dnsttl/internal/cache"
 	"dnsttl/internal/dnswire"
@@ -122,13 +123,22 @@ func (f *Forwarder) Resolve(name dnswire.Name, qtype dnswire.Type) (*Result, err
 	}
 
 	f.mu.Lock()
-	upstream := f.Upstreams[f.rng.Intn(len(f.Upstreams))]
-	f.nextID++
-	id := f.nextID
+	start := f.rng.Intn(len(f.Upstreams))
 	f.mu.Unlock()
 
+	// The retry plane mirrors the full resolver's: the zero-value policy
+	// keeps the legacy single-shot behavior (one upstream, one attempt,
+	// SERVFAIL on any failure); Retry.Attempts > 1 cycles the upstreams
+	// with backoff, which is what rescues clients behind a flapping
+	// recursive instead of handing them an instant SERVFAIL.
+	rp := f.Policy.Retry
+	attempts := rp.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+
 	qs := acquireQueryScratch()
-	qs.msg.Header = dnswire.Header{ID: id, RD: true, Opcode: dnswire.OpcodeQuery}
+	qs.msg.Header = dnswire.Header{RD: true, Opcode: dnswire.OpcodeQuery}
 	qs.msg.Question = append(qs.msg.Question,
 		dnswire.Question{Name: name, Type: qtype, Class: dnswire.ClassIN})
 	wire, err := qs.encode()
@@ -136,17 +146,49 @@ func (f *Forwarder) Resolve(name dnswire.Name, qtype dnswire.Type) (*Result, err
 		releaseQueryScratch(qs)
 		return nil, err
 	}
-	res.Queries++
-	respWire, rtt, err := f.Net.Exchange(f.Addr, upstream, wire)
-	releaseQueryScratch(qs)
-	res.Latency += rtt
-	if err != nil {
-		res.Timeouts++
-		res.Msg.Header.RCode = dnswire.RCodeServFail
-		return res, nil
+	var (
+		resp     *dnswire.Message
+		upstream netip.Addr
+		spent    time.Duration
+	)
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if b := rp.backoffFor(i); b > 0 {
+				d := b + f.drawJitter(rp, b)
+				spent += d
+				res.Latency += d
+			}
+			if rp.Deadline > 0 && spent >= rp.Deadline {
+				break
+			}
+			res.Retries++
+		}
+		upstream = f.Upstreams[(start+i)%len(f.Upstreams)]
+		f.mu.Lock()
+		f.nextID++
+		id := f.nextID
+		f.mu.Unlock()
+		wire[0], wire[1] = byte(id>>8), byte(id)
+		res.Queries++
+		respWire, rtt, err := f.exchangeWire(upstream, wire, res.Latency)
+		res.Latency += rtt
+		spent += rtt
+		if err != nil {
+			res.Timeouts++
+			continue
+		}
+		m, derr := dnswire.Decode(respWire)
+		if derr != nil || m.Header.ID != id {
+			continue
+		}
+		if rp.enabled() && (m.Header.RCode == dnswire.RCodeServFail || m.Header.RCode == dnswire.RCodeRefused) {
+			continue
+		}
+		resp = m
+		break
 	}
-	resp, err := dnswire.Decode(respWire)
-	if err != nil || resp.Header.ID != id {
+	releaseQueryScratch(qs)
+	if resp == nil {
 		res.Msg.Header.RCode = dnswire.RCodeServFail
 		return res, nil
 	}
@@ -186,6 +228,25 @@ func (f *Forwarder) Resolve(name dnswire.Name, qtype dnswire.Type) (*Result, err
 		})
 	}
 	return res, nil
+}
+
+// exchangeWire sends one wire query, positioning the fault schedule at the
+// resolution's accumulated virtual latency when the network supports it.
+func (f *Forwarder) exchangeWire(upstream netip.Addr, wire []byte, offset time.Duration) ([]byte, time.Duration, error) {
+	if oe, ok := f.Net.(simnet.OffsetExchanger); ok {
+		return oe.ExchangeAt(f.Addr, upstream, wire, offset)
+	}
+	return f.Net.Exchange(f.Addr, upstream, wire)
+}
+
+// drawJitter draws backoff jitter from the forwarder's seeded RNG.
+func (f *Forwarder) drawJitter(rp RetryPolicy, b time.Duration) time.Duration {
+	if rp.jitter() <= 0 {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return rp.jitterFor(b, f.rng)
 }
 
 func (f *Forwarder) cacheGet(name dnswire.Name, qtype dnswire.Type) (*cache.Entry, uint32, bool) {

@@ -26,6 +26,12 @@ type Metrics struct {
 	// that timed out.
 	Upstream *obs.Counter
 	Timeouts *obs.Counter
+	// Retries counts attempts past the first within iteration steps (the
+	// retry plane's added work); Hedges counts hedged second queries
+	// launched and HedgeWins the subset where the hedge finished first.
+	Retries   *obs.Counter
+	Hedges    *obs.Counter
+	HedgeWins *obs.Counter
 	// Latency is the per-resolution client latency in milliseconds.
 	Latency *obs.Histogram
 	// UpstreamRTT is the per-exchange round-trip time in milliseconds.
@@ -33,6 +39,12 @@ type Metrics struct {
 	// AnswerTTL is the TTL carried by the first answer record returned to
 	// the client, in seconds — the paper's Figures 1/2 quantity.
 	AnswerTTL *obs.Histogram
+	// SRTT is the smoothed per-server RTT estimate after each successful
+	// exchange, in milliseconds.
+	SRTT *obs.Histogram
+	// Backoff is the per-retry backoff delay (jitter included) charged to
+	// clients, in milliseconds.
+	Backoff *obs.Histogram
 }
 
 // Metric names under which NewMetrics registers the resolver's telemetry.
@@ -46,6 +58,11 @@ const (
 	MetricLatency     = "resolver.latency_ms"
 	MetricUpstreamRTT = "resolver.upstream_rtt_ms"
 	MetricAnswerTTL   = "resolver.answer_ttl_s"
+	MetricRetries     = "resolver.retries"
+	MetricHedges      = "resolver.hedges"
+	MetricHedgeWins   = "resolver.hedge_wins"
+	MetricSRTT        = "resolver.srtt_ms"
+	MetricBackoff     = "resolver.backoff_ms"
 )
 
 // NewMetrics resolves the standard handle set from reg. A nil registry
@@ -62,6 +79,11 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		Latency:     reg.Histogram(MetricLatency),
 		UpstreamRTT: reg.Histogram(MetricUpstreamRTT),
 		AnswerTTL:   reg.Histogram(MetricAnswerTTL),
+		Retries:     reg.Counter(MetricRetries),
+		Hedges:      reg.Counter(MetricHedges),
+		HedgeWins:   reg.Counter(MetricHedgeWins),
+		SRTT:        reg.Histogram(MetricSRTT),
+		Backoff:     reg.Histogram(MetricBackoff),
 	}
 }
 

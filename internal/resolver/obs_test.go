@@ -1,12 +1,16 @@
 package resolver
 
 import (
+	"net/http/httptest"
+	"net/netip"
 	"strings"
 	"testing"
 	"time"
 
+	"dnsttl/internal/authoritative"
 	"dnsttl/internal/dnswire"
 	"dnsttl/internal/obs"
+	"dnsttl/internal/simnet"
 )
 
 // TestResolverMetrics checks the registry view of a cold-then-warm
@@ -205,6 +209,107 @@ func TestResolverObsAllocFree(t *testing.T) {
 	base, withObs := warm(bare), warm(instrumented)
 	if withObs > base+0.5 {
 		t.Errorf("metrics added allocations to the warm path: %.2f vs %.2f allocs/op", withObs, base)
+	}
+}
+
+// TestRetryPlaneObservability drives the retry plane through a flapping
+// authoritative and checks its full telemetry surface: the new counters and
+// histograms in the registry, the /metrics endpoint, and the span
+// annotations (backoff_us, retries, failure detail) the trace carries.
+func TestRetryPlaneObservability(t *testing.T) {
+	tn := newTestNet(t)
+	tn.net.Clock = tn.clock
+	tn.net.Faults = simnet.NewFaultSchedule(
+		simnet.Flap(tn.ctAddr, 0, 0, 10*time.Second, 0.5))
+	reg := obs.NewRegistry(tn.clock)
+	tr := obs.NewTracer(tn.clock)
+	pol := DefaultPolicy()
+	pol.Retry = RetryPolicy{Attempts: 3, Backoff: 6 * time.Second, OrderBySRTT: true}
+	r := tn.resolver(pol, 3)
+	r.Obs = NewMetrics(reg)
+	r.Tracer = tr
+
+	res := mustResolve(t, r, "www.cachetest.net", dnswire.TypeA)
+	if res.Retries != 2 {
+		t.Fatalf("retries = %d, want 2 (two down-phase attempts)", res.Retries)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters[MetricRetries]; got != uint64(res.Retries) {
+		t.Errorf("%s = %d, want %d", MetricRetries, got, res.Retries)
+	}
+	if b := s.Histograms[MetricBackoff]; b.Count != uint64(res.Retries) {
+		t.Errorf("%s count = %d, want %d (one observation per backoff)", MetricBackoff, b.Count, res.Retries)
+	}
+	if h := s.Histograms[MetricSRTT]; h.Count == 0 {
+		t.Errorf("%s empty; successful exchanges must feed the SRTT histogram", MetricSRTT)
+	}
+
+	out := res.Span.String()
+	for _, want := range []string{"retries=2", "backoff_us=", "srtt_us=", "error=timeout"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+
+	// The live endpoint exposes the same names.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	obs.NewHandler(reg, tr).ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{MetricRetries, MetricHedges, MetricSRTT, MetricBackoff} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestHedgeObservability checks the hedged-query telemetry: the hedge and
+// hedge-win counters and the span's hedge annotation naming the backup.
+func TestHedgeObservability(t *testing.T) {
+	tn := newTestNet(t)
+	ct2 := netip.MustParseAddr("192.0.2.2")
+	tn.netZone.MustAdd(
+		dnswire.NewNS("cachetest.net", 172800, "ns2.cachetest.net"),
+		dnswire.NewA("ns2.cachetest.net", 172800, ct2.String()),
+	)
+	ns2 := authoritative.NewServer(dnswire.NewName("ns2.cachetest.net"), tn.clock)
+	ns2.AddZone(tn.ct)
+	tn.net.Attach(ct2, ns2)
+	tn.net.LatencyFor = func(src, dst netip.Addr) simnet.LatencyModel {
+		if dst == tn.ctAddr {
+			return simnet.Constant(100 * time.Millisecond)
+		}
+		return simnet.Constant(10 * time.Millisecond)
+	}
+
+	reg := obs.NewRegistry(tn.clock)
+	tr := obs.NewTracer(tn.clock)
+	pol := DefaultPolicy()
+	pol.Retry = RetryPolicy{Hedge: 20 * time.Millisecond, OrderBySRTT: true}
+	r := tn.resolver(pol, 5)
+	r.Obs = NewMetrics(reg)
+	r.Tracer = tr
+	// Pin the order so the slow server leads and the hedge fires.
+	r.srtt.observe(tn.ctAddr, 5*time.Millisecond)
+	r.srtt.observe(ct2, 50*time.Millisecond)
+
+	res := mustResolve(t, r, "www.cachetest.net", dnswire.TypeA)
+	if res.Hedges == 0 {
+		t.Fatal("no hedge fired against the slow primary")
+	}
+	s := reg.Snapshot()
+	if got := s.Counters[MetricHedges]; got != uint64(res.Hedges) {
+		t.Errorf("%s = %d, want %d", MetricHedges, got, res.Hedges)
+	}
+	if got := s.Counters[MetricHedgeWins]; got == 0 {
+		t.Errorf("%s = 0; the 10 ms backup must beat the 100 ms primary", MetricHedgeWins)
+	}
+	out := res.Span.String()
+	for _, want := range []string{"hedges=", "hedge=" + ct2.String()} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
 	}
 }
 

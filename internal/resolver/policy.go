@@ -92,8 +92,13 @@ type Policy struct {
 	// Timeout for one upstream exchange; zero means 5 s.
 	Timeout time.Duration
 	// MaxRetries is how many distinct servers are tried per step before
-	// giving up; zero means 3.
+	// giving up; zero means 3. Superseded by Retry.Attempts when set.
 	MaxRetries int
+	// Retry configures the retry/backoff/hedging plane: per-step attempt
+	// budgets, exponential backoff with deterministic jitter, per-attempt
+	// and overall deadlines, hedged second queries, and SRTT-based server
+	// ordering. The zero value keeps the legacy behavior.
+	Retry RetryPolicy
 }
 
 func (p Policy) prefetchThreshold() uint32 {

@@ -1,0 +1,135 @@
+package resolver
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dnsttl/internal/authoritative"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/simnet"
+)
+
+// TestConcurrentResolutionsUnderChaos hammers one shared resolver — retry
+// plane, hedging, and SRTT ordering all armed — from many goroutines while
+// the virtual clock advances underneath and a fault schedule flips the
+// authoritative between up and down. Run with -race this covers every lock
+// in the retry plane: the RNG draw for jitter, the SRTT table, the sticky
+// map, and the shared cache.
+func TestConcurrentResolutionsUnderChaos(t *testing.T) {
+	tn := newTestNet(t)
+	tn.net.Clock = tn.clock
+	// Unique names resolve through a wildcard so every goroutine's stream
+	// misses the cache and exercises the full retry path.
+	tn.ct.MustAdd(dnswire.NewA("*.w.cachetest.net", 60, "192.0.2.81"))
+	// A second cachetest.net nameserver so hedging has a backup candidate.
+	ct2 := netip.MustParseAddr("192.0.2.2")
+	tn.netZone.MustAdd(
+		dnswire.NewNS("cachetest.net", 172800, "ns2.cachetest.net"),
+		dnswire.NewA("ns2.cachetest.net", 172800, ct2.String()),
+	)
+	ns2 := authoritative.NewServer(dnswire.NewName("ns2.cachetest.net"), tn.clock)
+	ns2.AddZone(tn.ct)
+	tn.net.Attach(ct2, ns2)
+	// The primary flaps while a mild loss burst runs unbounded.
+	tn.net.Faults = simnet.NewFaultSchedule(
+		simnet.Flap(tn.ctAddr, 0, 0, 10*time.Second, 0.3),
+		simnet.LossBurst(ct2, 0, 0, 0.2),
+	)
+
+	pol := DefaultPolicy()
+	pol.ServeStale = true
+	pol.Retry = RetryPolicy{
+		Attempts: 3, Backoff: 2 * time.Second, Jitter: 0.5,
+		Hedge: 100 * time.Millisecond, OrderBySRTT: true,
+	}
+	r := tn.resolver(pol, 7)
+
+	const goroutines = 8
+	const perG = 25
+	var answered atomic.Int64
+	done := make(chan struct{})
+	var advancer sync.WaitGroup
+	advancer.Add(1)
+	go func() {
+		defer advancer.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				tn.clock.Advance(700 * time.Millisecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				name := dnswire.NewName(fmt.Sprintf("n%d-%d.w.cachetest.net", g, i))
+				res, err := r.Resolve(name, dnswire.TypeA)
+				if err != nil {
+					continue // faults may exhaust the budget; that's the point
+				}
+				if res.Msg.Header.RCode == dnswire.RCodeNoError && len(res.Msg.Answer) > 0 {
+					answered.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	advancer.Wait()
+
+	// The retry plane should rescue a healthy majority despite the chaos.
+	if got := answered.Load(); got < goroutines*perG/2 {
+		t.Errorf("answered %d of %d resolutions; expected the retry plane to carry most", got, goroutines*perG)
+	}
+}
+
+// TestSRTTTableRace hammers every srttTable operation from concurrent
+// goroutines — the table is shared by all of a resolver's in-flight
+// resolutions, so observe/penalize racing estimate/sortBySRTT is the normal
+// state of the world under load.
+func TestSRTTTableRace(t *testing.T) {
+	tab := newSRTTTable()
+	addrs := []netip.Addr{
+		netip.MustParseAddr("192.0.2.1"),
+		netip.MustParseAddr("192.0.2.2"),
+		netip.MustParseAddr("192.0.2.3"),
+		netip.MustParseAddr("192.0.2.4"),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a := addrs[(g+i)%len(addrs)]
+				switch i % 4 {
+				case 0:
+					tab.observe(a, time.Duration(1+i%50)*time.Millisecond)
+				case 1:
+					tab.penalize(a, 100*time.Millisecond)
+				case 2:
+					tab.estimate(a)
+				case 3:
+					order := append([]netip.Addr(nil), addrs...)
+					tab.sortBySRTT(order)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, a := range addrs {
+		if est, ok := tab.estimate(a); !ok || est <= 0 {
+			t.Errorf("server %v lost its estimate under concurrency: %v %v", a, est, ok)
+		}
+	}
+}

@@ -32,6 +32,11 @@ type Trace struct {
 	Queries int
 	// Timeouts is how many of those exchanges timed out.
 	Timeouts int
+	// Retries counts attempts past the first within iteration steps — the
+	// work the retry plane (Policy.Retry) added to rescue this resolution.
+	Retries int
+	// Hedges counts hedged second queries launched (Policy.Retry.Hedge).
+	Hedges int
 	// FinalServer is the authoritative address that supplied the answer,
 	// or the zero Addr for cache hits.
 	FinalServer netip.Addr
@@ -86,6 +91,11 @@ type Resolver struct {
 	rng    *rand.Rand
 	sticky map[dnswire.Name]netip.Addr
 	nextID uint16
+
+	// srtt is the per-server smoothed-RTT table behind
+	// Policy.Retry.OrderBySRTT. It has its own lock; nil (for resolvers
+	// built as struct literals) disables SRTT tracking.
+	srtt *srttTable
 }
 
 // New builds a resolver. A nil cache gets a private one configured from the
@@ -112,6 +122,7 @@ func New(addr netip.Addr, pol Policy, net simnet.Exchanger, clock simnet.Clock, 
 		RootHints: roots,
 		rng:       rand.New(rand.NewSource(seed)),
 		sticky:    make(map[dnswire.Name]netip.Addr),
+		srtt:      newSRTTTable(),
 	}
 }
 
@@ -143,6 +154,12 @@ func (r *Resolver) Resolve(name dnswire.Name, qtype dnswire.Type) (*Result, erro
 		sp.Annotate("rcode", res.Msg.Header.RCode.String())
 		sp.AnnotateUint("answer_ttl_s", uint64(res.AnswerTTL))
 		sp.AnnotateUint("upstream_queries", uint64(res.Queries))
+		if res.Retries > 0 {
+			sp.AnnotateUint("retries", uint64(res.Retries))
+		}
+		if res.Hedges > 0 {
+			sp.AnnotateUint("hedges", uint64(res.Hedges))
+		}
 		r.Tracer.Keep(sp)
 	}
 	if m := r.Obs; m != nil {
@@ -436,71 +453,256 @@ func (r *Resolver) fail(name dnswire.Name, qtype dnswire.Type, res *Result, err 
 
 // exchangeAny tries the candidate servers (sticky resolvers always lead
 // with their pinned choice) until one responds. Each attempt becomes an
-// "exchange" child of sp, the current step's span.
+// "exchange" child of sp, the current step's span. With the zero-value
+// RetryPolicy this behaves exactly as the legacy resolver did: up to
+// Policy.maxRetries distinct servers, back to back, no extra randomness.
+// An active Retry policy adds cycling attempts, backoff with deterministic
+// jitter, per-attempt and overall deadlines, and an optional hedged second
+// query on the first attempt.
 func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dnswire.Type, res *Result, sp *obs.Span) (*dnswire.Message, netip.Addr, error) {
+	rp := r.Policy.Retry
+	retrying := rp.enabled()
 	order := r.serverOrder(servers)
-	tries := r.Policy.maxRetries()
-	if tries > len(order) {
-		tries = len(order)
+	attempts := rp.Attempts
+	if attempts <= 0 {
+		// Legacy semantics: distinct servers only, never more than the
+		// candidate list offers.
+		attempts = r.Policy.maxRetries()
+		if attempts > len(order) {
+			attempts = len(order)
+		}
 	}
+
+	// The query is encoded once; each attempt stamps a fresh transaction ID
+	// straight into the header bytes.
 	qs := acquireQueryScratch()
 	defer releaseQueryScratch(qs)
-	var lastErr error
-	for i := 0; i < tries; i++ {
-		server := order[i]
-		esp := sp.Child("exchange")
-		if esp != nil {
-			esp.Annotate("server", server.String())
+	qs.msg.Reset()
+	qs.msg.Header = dnswire.Header{Opcode: dnswire.OpcodeQuery}
+	qs.msg.Question = append(qs.msg.Question,
+		dnswire.Question{Name: name, Type: qtype, Class: dnswire.ClassIN})
+	// Advertise EDNS so referrals with glue fit in one datagram.
+	qs.msg.AddAdditional(dnswire.RR{Name: dnswire.Root, Type: dnswire.TypeOPT,
+		Data: dnswire.OPT{UDPSize: dnswire.MaxEDNSSize}})
+	wire, err := qs.encode()
+	if err != nil {
+		return nil, netip.Addr{}, err
+	}
+
+	var (
+		spent   time.Duration // virtual cost of this step's attempts
+		lastErr error
+	)
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if b := rp.backoffFor(i); b > 0 {
+				d := b + r.drawJitter(rp, b)
+				spent += d
+				res.Latency += d
+				if m := r.Obs; m != nil {
+					m.Backoff.Observe(float64(d) / float64(time.Millisecond))
+				}
+				if sp != nil {
+					sp.AnnotateUint("backoff_us", uint64(d/time.Microsecond))
+				}
+			}
+			if rp.Deadline > 0 && spent >= rp.Deadline {
+				sp.Annotate("retry", "deadline-exhausted")
+				break
+			}
+			res.Retries++
+			if m := r.Obs; m != nil {
+				m.Retries.Inc()
+			}
 		}
-		qID := r.id()
-		qs.msg.Reset()
-		qs.msg.Header = dnswire.Header{ID: qID, Opcode: dnswire.OpcodeQuery}
-		qs.msg.Question = append(qs.msg.Question,
-			dnswire.Question{Name: name, Type: qtype, Class: dnswire.ClassIN})
-		// Advertise EDNS so referrals with glue fit in one datagram.
-		qs.msg.AddAdditional(dnswire.RR{Name: dnswire.Root, Type: dnswire.TypeOPT,
-			Data: dnswire.OPT{UDPSize: dnswire.MaxEDNSSize}})
-		wire, err := qs.encode()
-		if err != nil {
-			esp.Finish()
-			return nil, netip.Addr{}, err
-		}
-		res.Queries++
-		respWire, rtt, err := r.Net.Exchange(r.Addr, server, wire)
-		res.Latency += rtt
-		if m := r.Obs; m != nil {
-			m.UpstreamRTT.Observe(float64(rtt) / float64(time.Millisecond))
-		}
-		if esp != nil {
-			esp.AnnotateUint("rtt_us", uint64(rtt/time.Microsecond))
-		}
-		if err != nil {
-			res.Timeouts++
-			esp.Annotate("error", "timeout")
-			esp.Finish()
+		if i == 0 && rp.Hedge > 0 && len(order) > 1 {
+			resp, server, cost, err := r.hedgedAttempt(order, wire, rp, res, sp)
+			spent += cost
+			res.Latency += cost
+			if err == nil {
+				return resp, server, nil
+			}
 			lastErr = err
 			continue
 		}
-		resp, err := dnswire.Decode(respWire)
-		if err != nil {
-			esp.Annotate("error", "decode")
-			esp.Finish()
-			lastErr = err
-			continue
+		server := order[i%len(order)]
+		resp, cost, err := r.attempt(server, wire, rp, retrying, res, sp, res.Latency)
+		spent += cost
+		res.Latency += cost
+		if err == nil {
+			return resp, server, nil
 		}
-		if resp.Header.ID != qID {
-			esp.Annotate("error", "id-mismatch")
-			esp.Finish()
-			lastErr = fmt.Errorf("resolver: response ID mismatch")
-			continue
+		lastErr = err
+		if rp.Deadline > 0 && spent >= rp.Deadline {
+			sp.Annotate("retry", "deadline-exhausted")
+			break
 		}
-		esp.Finish()
-		return resp, server, nil
 	}
 	if lastErr == nil {
 		lastErr = fmt.Errorf("resolver: no servers answered for %s", name)
 	}
 	return nil, netip.Addr{}, lastErr
+}
+
+// attempt performs one upstream exchange against server, stamping a fresh
+// transaction ID into the pre-encoded wire query. It books Queries/Timeouts
+// and SRTT state but deliberately does NOT charge res.Latency: sequential
+// retries charge their full cost, while a hedged pair charges only the
+// earlier completion — the caller knows which. offset positions the fault
+// schedule at the virtual latency this resolution has already accumulated,
+// so a retry after backoff sees later fault-window state.
+func (r *Resolver) attempt(server netip.Addr, wire []byte, rp RetryPolicy, retrying bool, res *Result, sp *obs.Span, offset time.Duration) (*dnswire.Message, time.Duration, error) {
+	esp := sp.Child("exchange")
+	if esp != nil {
+		esp.Annotate("server", server.String())
+	}
+	qID := r.id()
+	wire[0], wire[1] = byte(qID>>8), byte(qID)
+	res.Queries++
+	respWire, rtt, err := r.exchangeWire(server, wire, offset)
+	if m := r.Obs; m != nil {
+		m.UpstreamRTT.Observe(float64(rtt) / float64(time.Millisecond))
+	}
+	if esp != nil {
+		esp.AnnotateUint("rtt_us", uint64(rtt/time.Microsecond))
+	}
+	cost := rtt
+	if err != nil {
+		if rp.AttemptTimeout > 0 && cost > rp.AttemptTimeout {
+			cost = rp.AttemptTimeout
+		}
+		res.Timeouts++
+		r.srttPenalize(server, cost)
+		esp.Annotate("error", "timeout")
+		esp.Finish()
+		return nil, cost, err
+	}
+	if rp.AttemptTimeout > 0 && rtt > rp.AttemptTimeout {
+		// The reply exists but arrived past the per-attempt deadline: the
+		// client has moved on, so charge exactly the deadline and book a
+		// timeout.
+		cost = rp.AttemptTimeout
+		res.Timeouts++
+		r.srttPenalize(server, cost)
+		esp.Annotate("error", "attempt-timeout")
+		esp.Finish()
+		return nil, cost, errAttemptSlow
+	}
+	if srtt := r.srttObserve(server, rtt); srtt > 0 {
+		if m := r.Obs; m != nil {
+			m.SRTT.Observe(float64(srtt) / float64(time.Millisecond))
+		}
+		if esp != nil {
+			esp.AnnotateUint("srtt_us", uint64(srtt/time.Microsecond))
+		}
+	}
+	resp, derr := dnswire.Decode(respWire)
+	if derr != nil {
+		esp.Annotate("error", "decode")
+		esp.Finish()
+		return nil, cost, derr
+	}
+	if resp.Header.ID != qID {
+		esp.Annotate("error", "id-mismatch")
+		esp.Finish()
+		return nil, cost, errIDMismatch
+	}
+	if retrying {
+		// An active retry plane treats degraded replies as retryable: an
+		// empty truncated shell (anycast shedding load) and failure rcodes
+		// both mean "ask someone else", where the legacy path would hand
+		// them to absorb and fail the whole resolution.
+		if resp.Header.TC && len(resp.Answer) == 0 && len(resp.Authority) == 0 {
+			esp.Annotate("error", "truncated")
+			esp.Finish()
+			return nil, cost, errTruncated
+		}
+		if rc := resp.Header.RCode; rc == dnswire.RCodeServFail || rc == dnswire.RCodeRefused {
+			esp.Annotate("error", "failure-rcode")
+			esp.Finish()
+			return nil, cost, errUpstreamFailed
+		}
+	}
+	esp.Finish()
+	return resp, cost, nil
+}
+
+// hedgedAttempt races the two best candidates: the primary goes first and,
+// if it has not completed within rp.Hedge, the backup is launched too. In
+// the synchronous simulation both costs are known immediately, so the race
+// resolves arithmetically — the client pays the earlier completion, and both
+// queries hit the authoritatives (the real price of hedging).
+func (r *Resolver) hedgedAttempt(order []netip.Addr, wire []byte, rp RetryPolicy, res *Result, sp *obs.Span) (*dnswire.Message, netip.Addr, time.Duration, error) {
+	base := res.Latency
+	primary, backup := order[0], order[1]
+	respP, costP, errP := r.attempt(primary, wire, rp, true, res, sp, base)
+	if errP == nil && costP <= rp.Hedge {
+		return respP, primary, costP, nil
+	}
+	// The hedge timer fired while the primary was still outstanding.
+	res.Hedges++
+	if m := r.Obs; m != nil {
+		m.Hedges.Inc()
+	}
+	if sp != nil {
+		sp.Annotate("hedge", backup.String())
+	}
+	respH, costH, errH := r.attempt(backup, wire, rp, true, res, sp, base+rp.Hedge)
+	completionH := rp.Hedge + costH
+	switch {
+	case errP == nil && (errH != nil || costP <= completionH):
+		return respP, primary, costP, nil
+	case errH == nil:
+		if m := r.Obs; m != nil {
+			m.HedgeWins.Inc()
+		}
+		if sp != nil {
+			sp.Annotate("hedge_win", backup.String())
+		}
+		return respH, backup, completionH, nil
+	}
+	// Both failed: the client waited out the slower failure.
+	cost := costP
+	if completionH > cost {
+		cost = completionH
+	}
+	return nil, netip.Addr{}, cost, errP
+}
+
+// exchangeWire sends one wire query, positioning the fault schedule at the
+// given virtual-time offset when the network supports it (the in-memory
+// simnet does; the real-UDP exchanger ignores offsets by not implementing
+// the interface).
+func (r *Resolver) exchangeWire(server netip.Addr, wire []byte, offset time.Duration) ([]byte, time.Duration, error) {
+	if oe, ok := r.Net.(simnet.OffsetExchanger); ok {
+		return oe.ExchangeAt(r.Addr, server, wire, offset)
+	}
+	return r.Net.Exchange(r.Addr, server, wire)
+}
+
+// drawJitter draws the backoff jitter addition from the resolver's seeded
+// RNG, so retry timing is deterministic per (seed, query sequence).
+func (r *Resolver) drawJitter(rp RetryPolicy, b time.Duration) time.Duration {
+	if rp.jitter() <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return rp.jitterFor(b, r.rng)
+}
+
+func (r *Resolver) srttObserve(server netip.Addr, rtt time.Duration) time.Duration {
+	if r.srtt == nil {
+		return 0
+	}
+	return r.srtt.observe(server, rtt)
+}
+
+func (r *Resolver) srttPenalize(server netip.Addr, cost time.Duration) {
+	if r.srtt == nil {
+		return
+	}
+	r.srtt.penalize(server, cost)
 }
 
 func (r *Resolver) serverOrder(servers []netip.Addr) []netip.Addr {
@@ -509,6 +711,11 @@ func (r *Resolver) serverOrder(servers []netip.Addr) []netip.Addr {
 	// hot path of every exchange.
 	if len(servers) <= 1 {
 		return servers
+	}
+	if r.Policy.Retry.OrderBySRTT && r.srtt != nil {
+		out := append([]netip.Addr(nil), servers...)
+		r.srtt.sortBySRTT(out)
+		return out
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,220 @@
+package simnet
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+var (
+	faultSrv = netip.MustParseAddr("192.0.2.1")
+	faultCli = netip.MustParseAddr("10.0.0.1")
+)
+
+func TestFaultScheduleWindows(t *testing.T) {
+	s := NewFaultSchedule(
+		Outage(faultSrv, 10*time.Minute, 20*time.Minute),
+		LossBurst(netip.Addr{}, 0, time.Hour, 0.25),
+		LatencySpike(faultSrv, 0, time.Hour, 4),
+	)
+	at := func(d time.Duration) FaultEffects {
+		return s.EffectsAt(faultCli, faultSrv, Epoch.Add(d))
+	}
+	if e := at(5 * time.Minute); e.Down {
+		t.Errorf("down before the outage window: %+v", e)
+	}
+	if e := at(15 * time.Minute); !e.Down {
+		t.Errorf("not down inside the outage window: %+v", e)
+	}
+	if e := at(30 * time.Minute); e.Down {
+		t.Errorf("down after the outage window: %+v", e)
+	}
+	if e := at(15 * time.Minute); e.LossP != 0.25 || e.Factor != 4 {
+		t.Errorf("loss/latency effects wrong: %+v", e)
+	}
+	// The wildcard loss matches other servers; the targeted spike does not.
+	other := netip.MustParseAddr("192.0.2.9")
+	if e := s.EffectsAt(faultCli, other, Epoch.Add(15*time.Minute)); e.LossP != 0.25 || e.Factor != 0 {
+		t.Errorf("wildcard/targeted matching wrong for other server: %+v", e)
+	}
+	// Past every window: nothing.
+	if e := at(2 * time.Hour); e.Any() {
+		t.Errorf("effects active past all windows: %+v", e)
+	}
+}
+
+func TestFaultLossComposition(t *testing.T) {
+	s := NewFaultSchedule(
+		LossBurst(faultSrv, 0, time.Hour, 0.5),
+		LossBurst(faultSrv, 0, time.Hour, 0.5),
+	)
+	e := s.EffectsAt(faultCli, faultSrv, Epoch)
+	if e.LossP != 0.75 {
+		t.Errorf("independent composition of two 0.5 losses = %v, want 0.75", e.LossP)
+	}
+}
+
+func TestFaultFlap(t *testing.T) {
+	s := NewFaultSchedule(Flap(faultSrv, 0, time.Hour, 10*time.Minute, 0.5))
+	down := 0
+	for m := 0; m < 60; m++ {
+		if s.EffectsAt(faultCli, faultSrv, Epoch.Add(time.Duration(m)*time.Minute)).Down {
+			down++
+		}
+	}
+	if down != 30 {
+		t.Errorf("flap with duty 0.5 down %d/60 minutes, want 30", down)
+	}
+	// Phase: down during the first half of each period when Seed is 0.
+	if !s.EffectsAt(faultCli, faultSrv, Epoch.Add(2*time.Minute)).Down {
+		t.Error("expected down in first half-period")
+	}
+	if s.EffectsAt(faultCli, faultSrv, Epoch.Add(7*time.Minute)).Down {
+		t.Error("expected up in second half-period")
+	}
+	// Seeded schedules shift the phase deterministically per server.
+	s2 := NewFaultSchedule(Flap(faultSrv, 0, time.Hour, 10*time.Minute, 0.5))
+	s2.Seed = 7
+	s3 := NewFaultSchedule(Flap(faultSrv, 0, time.Hour, 10*time.Minute, 0.5))
+	s3.Seed = 7
+	for m := 0; m < 60; m++ {
+		at := Epoch.Add(time.Duration(m) * time.Minute)
+		if s2.EffectsAt(faultCli, faultSrv, at).Down != s3.EffectsAt(faultCli, faultSrv, at).Down {
+			t.Fatal("same-seed flap schedules disagree")
+		}
+	}
+}
+
+func TestFaultPerFlow(t *testing.T) {
+	other := netip.MustParseAddr("10.0.0.2")
+	s := NewFaultSchedule(Fault{Kind: FaultOutage, Client: faultCli, Start: 0, End: time.Hour})
+	if !s.EffectsAt(faultCli, faultSrv, Epoch).Down {
+		t.Error("per-flow fault missed its client")
+	}
+	if s.EffectsAt(other, faultSrv, Epoch).Down {
+		t.Error("per-flow fault leaked to another client")
+	}
+}
+
+func TestParseFaultSchedule(t *testing.T) {
+	s, err := ParseFaultSchedule("outage:*:30m+1h; loss:192.0.2.1:0s+2h:0.3; latency:*:0s+0s:10; flap:192.0.2.1:1h+1h:60s,0.25; servfail:*:10m+5m; truncate:192.0.2.1:0s+1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := s.Faults()
+	if len(fs) != 6 {
+		t.Fatalf("parsed %d faults, want 6", len(fs))
+	}
+	// Faults() sorts by start: latency(0) truncate(0) loss(0) servfail(10m) outage(30m) flap(1h).
+	if fs[len(fs)-1].Kind != FaultFlap || fs[len(fs)-1].Period != time.Minute || fs[len(fs)-1].Duty != 0.25 {
+		t.Errorf("flap entry parsed wrong: %+v", fs[len(fs)-1])
+	}
+	e := s.EffectsAt(faultCli, netip.MustParseAddr("192.0.2.1"), Epoch.Add(45*time.Minute))
+	if !e.Down || e.LossP < 0.299 || e.LossP > 0.301 || e.Factor != 10 || !e.Truncate {
+		t.Errorf("composed parse effects wrong: %+v", e)
+	}
+	// Unbounded window (duration 0) stays active forever.
+	if got := s.EffectsAt(faultCli, faultSrv, Epoch.Add(1000*time.Hour)).Factor; got != 10 {
+		t.Errorf("unbounded latency window factor = %v, want 10", got)
+	}
+
+	for _, bad := range []string{
+		"", "outage", "santa:*:0s+1h", "loss:*:0s+1h:1.5", "loss:*:0s+1h",
+		"latency:*:0s+1h:-2", "flap:*:0s+1h:60s", "flap:*:0s+1h:60s,2",
+		"outage:*:0s+1h:param", "outage:nonsense:0s+1h", "outage:*:bogus",
+	} {
+		if _, err := ParseFaultSchedule(bad); err == nil {
+			t.Errorf("ParseFaultSchedule(%q) accepted", bad)
+		}
+	}
+}
+
+// TestNetworkFaultInjection drives real exchanges through a scripted
+// network: outage → timeout, servfail → instant RCODE 2, truncate → TC=1
+// empty shell, latency spike → scaled RTT.
+func TestNetworkFaultInjection(t *testing.T) {
+	clock := NewVirtualClock()
+	n := NewNetwork(1)
+	n.Clock = clock
+	n.LatencyFor = func(src, dst netip.Addr) LatencyModel { return Constant(10 * time.Millisecond) }
+	n.Attach(faultSrv, HandlerFunc(func(wire []byte, from netip.Addr) []byte {
+		resp := append([]byte(nil), wire...)
+		resp[2] |= 0x80
+		return resp
+	}))
+	// A minimal query: header + no question (handlers here don't parse).
+	query := make([]byte, 12)
+	query[0], query[1] = 0xab, 0xcd
+
+	n.Faults = NewFaultSchedule(
+		Outage(faultSrv, 0, 10*time.Minute),
+		ServFailStorm(faultSrv, 10*time.Minute, 10*time.Minute),
+		TruncateAll(faultSrv, 20*time.Minute, 10*time.Minute),
+		LatencySpike(faultSrv, 30*time.Minute, 10*time.Minute, 5),
+	)
+
+	if _, rtt, err := n.Exchange(faultCli, faultSrv, query); err != ErrTimeout || rtt != DefaultTimeout {
+		t.Errorf("outage window: err=%v rtt=%v, want timeout", err, rtt)
+	}
+
+	clock.Advance(10 * time.Minute)
+	resp, _, err := n.Exchange(faultCli, faultSrv, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp[3]&0x0F != 0x02 || resp[2]&0x80 == 0 {
+		t.Errorf("servfail window: header %x %x, want QR+SERVFAIL", resp[2], resp[3])
+	}
+	if resp[0] != 0xab || resp[1] != 0xcd {
+		t.Errorf("servfail reply lost the query ID: % x", resp[:2])
+	}
+
+	clock.Advance(10 * time.Minute)
+	resp, _, err = n.Exchange(faultCli, faultSrv, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp[2]&0x02 == 0 {
+		t.Errorf("truncate window: TC not set (byte2=%x)", resp[2])
+	}
+
+	clock.Advance(10 * time.Minute)
+	if _, rtt, err := n.Exchange(faultCli, faultSrv, query); err != nil || rtt != 50*time.Millisecond {
+		t.Errorf("latency spike: rtt=%v err=%v, want 50ms", rtt, err)
+	}
+
+	// Past all windows: normal delivery again.
+	clock.Advance(10 * time.Minute)
+	if _, rtt, err := n.Exchange(faultCli, faultSrv, query); err != nil || rtt != 10*time.Millisecond {
+		t.Errorf("after windows: rtt=%v err=%v, want 10ms", rtt, err)
+	}
+
+	// ExchangeAt positions the fault lookup: offset back... the schedule is
+	// relative to the clock, so a large offset from the last window's start
+	// lands past everything too.
+	if _, _, err := n.ExchangeAt(faultCli, faultSrv, query, time.Hour); err != nil {
+		t.Errorf("ExchangeAt past windows: %v", err)
+	}
+}
+
+// TestNetworkFaultOffset proves the per-exchange offset moves the schedule
+// window: at clock time 0 an exchange with a large enough offset escapes an
+// outage that is still active for offset-0 exchanges.
+func TestNetworkFaultOffset(t *testing.T) {
+	clock := NewVirtualClock()
+	n := NewNetwork(1)
+	n.Clock = clock
+	n.Attach(faultSrv, HandlerFunc(func(wire []byte, from netip.Addr) []byte {
+		resp := append([]byte(nil), wire...)
+		resp[2] |= 0x80
+		return resp
+	}))
+	n.Faults = NewFaultSchedule(Outage(faultSrv, 0, time.Minute))
+	query := make([]byte, 12)
+	if _, _, err := n.ExchangeAt(faultCli, faultSrv, query, 0); err != ErrTimeout {
+		t.Errorf("offset 0 inside outage: err=%v, want timeout", err)
+	}
+	if _, _, err := n.ExchangeAt(faultCli, faultSrv, query, 2*time.Minute); err != nil {
+		t.Errorf("offset past outage: %v", err)
+	}
+}

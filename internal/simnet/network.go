@@ -86,6 +86,14 @@ type Network struct {
 	// Timeout is what a lost query costs the client. Zero means
 	// DefaultTimeout.
 	Timeout time.Duration
+	// Clock positions exchanges in time for the fault schedule. Nil means
+	// faults are evaluated at Epoch (plus any per-exchange offset).
+	Clock Clock
+	// Faults, when non-nil, scripts per-server/per-flow fault windows —
+	// outages, loss bursts, latency spikes, SERVFAIL storms, truncation,
+	// flapping — evaluated against Clock. The schedule must not be mutated
+	// while exchanges run.
+	Faults *FaultSchedule
 	// Tap, when non-nil, observes every exchange — the simulation's
 	// packet capture, standing in for the paper's pcap analyses (§4.4).
 	// It runs outside the network lock; keep it cheap. The Query and
@@ -190,14 +198,39 @@ func (n *Network) SetDown(addr netip.Addr, down bool) error {
 // The returned RTT is sampled from the link's latency model; lost or
 // unanswered queries return ErrTimeout and cost the full timeout.
 func (n *Network) Exchange(src, dst netip.Addr, query []byte) ([]byte, time.Duration, error) {
-	resp, rtt, err := n.exchange(src, dst, query)
+	return n.ExchangeAt(src, dst, query, 0)
+}
+
+// OffsetExchanger is an Exchanger that can position an exchange at a
+// virtual-time offset past the clock's current instant. Resolvers pass the
+// latency a resolution has already accumulated (RTTs, backoffs), so within
+// one resolution later attempts see later fault-schedule state — a retry
+// after backoff can genuinely ride out a flap window.
+type OffsetExchanger interface {
+	Exchanger
+	ExchangeAt(src, dst netip.Addr, query []byte, offset time.Duration) (resp []byte, rtt time.Duration, err error)
+}
+
+// ExchangeAt is Exchange with the fault schedule evaluated at
+// Clock.Now()+offset. With no schedule installed the offset is irrelevant
+// and ExchangeAt is identical to Exchange.
+func (n *Network) ExchangeAt(src, dst netip.Addr, query []byte, offset time.Duration) ([]byte, time.Duration, error) {
+	resp, rtt, err := n.exchange(src, dst, query, offset)
 	if tap := n.Tap; tap != nil {
 		tap(TapEvent{Src: src, Dst: dst, Query: query, Response: resp, RTT: rtt, Err: err})
 	}
 	return resp, rtt, err
 }
 
-func (n *Network) exchange(src, dst netip.Addr, query []byte) ([]byte, time.Duration, error) {
+// faultTime is the instant the fault schedule sees for an exchange.
+func (n *Network) faultTime(offset time.Duration) time.Time {
+	if n.Clock != nil {
+		return n.Clock.Now().Add(offset)
+	}
+	return Epoch.Add(offset)
+}
+
+func (n *Network) exchange(src, dst netip.Addr, query []byte, offset time.Duration) ([]byte, time.Duration, error) {
 	n.mu.RLock()
 	nd := n.nodes[dst]
 	n.mu.RUnlock()
@@ -211,6 +244,14 @@ func (n *Network) exchange(src, dst netip.Addr, query []byte) ([]byte, time.Dura
 	)
 	n.queries.Add(1)
 
+	// Scripted faults compose over the link's base loss and latency: the
+	// schedule is immutable and the clock read is cheap, so this adds no
+	// contention to concurrent exchanges on different flows.
+	var eff FaultEffects
+	if n.Faults != nil {
+		eff = n.Faults.EffectsAt(src, dst, n.faultTime(offset))
+	}
+
 	// Sample loss and latency from the flow's private stream. The stream is
 	// consumed exactly as the single-RNG implementation did: a loss draw
 	// only when loss probability is positive, a latency draw only for
@@ -218,11 +259,13 @@ func (n *Network) exchange(src, dst netip.Addr, query []byte) ([]byte, time.Dura
 	needLoss := false
 	var lossP float64
 	if n.LossFor != nil {
-		if lossP = n.LossFor(src, dst); lossP > 0 {
-			needLoss = true
-		}
+		lossP = n.LossFor(src, dst)
 	}
-	deliverable := nd != nil && !nd.down.Load()
+	if eff.LossP > 0 {
+		lossP = 1 - (1-lossP)*(1-eff.LossP)
+	}
+	needLoss = lossP > 0
+	deliverable := nd != nil && !nd.down.Load() && !eff.Down
 	if needLoss || deliverable {
 		f := n.flowFor(src, dst)
 		f.mu.Lock()
@@ -241,6 +284,9 @@ func (n *Network) exchange(src, dst netip.Addr, query []byte) ([]byte, time.Dura
 		}
 		f.mu.Unlock()
 	}
+	if eff.Factor > 0 {
+		rtt = time.Duration(float64(rtt) * eff.Factor)
+	}
 
 	if nd == nil {
 		return nil, timeout, ErrUnreachable
@@ -248,7 +294,15 @@ func (n *Network) exchange(src, dst netip.Addr, query []byte) ([]byte, time.Dura
 	if lost || !deliverable {
 		return nil, timeout, ErrTimeout
 	}
-	resp := nd.handler.ServeDNS(query, src)
+	var resp []byte
+	switch {
+	case eff.ServFail:
+		resp = synthReply(query, true, false)
+	case eff.Truncate:
+		resp = synthReply(query, false, true)
+	default:
+		resp = nd.handler.ServeDNS(query, src)
+	}
 	if resp == nil {
 		return nil, timeout, ErrTimeout
 	}
@@ -256,6 +310,28 @@ func (n *Network) exchange(src, dst netip.Addr, query []byte) ([]byte, time.Dura
 		return nil, timeout, ErrTimeout
 	}
 	return resp, rtt, nil
+}
+
+// synthReply fabricates a fault reply from the query's own wire bytes: the
+// header and question come back verbatim with QR set, plus SERVFAIL or an
+// empty TC=1 body. Working at the byte level keeps fault injection
+// independent of the codec and allocation-cheap.
+func synthReply(query []byte, servfail, truncate bool) []byte {
+	if len(query) < 12 {
+		return nil
+	}
+	resp := append([]byte(nil), query...)
+	resp[2] |= 0x80 // QR
+	if truncate {
+		resp[2] |= 0x02 // TC
+		// Drop answer/authority counts (queries carry none anyway) so the
+		// reply is an empty truncated shell.
+		resp[6], resp[7], resp[8], resp[9] = 0, 0, 0, 0
+	}
+	if servfail {
+		resp[3] = (resp[3] &^ 0x0F) | 0x02 // RCODE = SERVFAIL
+	}
+	return resp
 }
 
 // Stats returns the number of exchanges attempted and the number lost.
