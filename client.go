@@ -94,6 +94,17 @@ type ClientConfig struct {
 	// Coalesce enables farm-wide singleflight on identical in-flight
 	// queries.
 	Coalesce bool
+	// CacheCapacity bounds the cache entry count (per frontend for
+	// FarmPrivate, per shard for FarmSharded, total otherwise); 0 keeps the
+	// cache default.
+	CacheCapacity int
+	// CacheBytes bounds the cache memory charge (wire-format record bytes
+	// plus index overhead), with the same per-frontend/per-shard/total
+	// semantics as CacheCapacity; 0 means unbounded.
+	CacheBytes int64
+	// Eviction selects the cache eviction policy (EvictFIFO, EvictLRU,
+	// EvictSLRU); the zero value is the legacy FIFO.
+	Eviction EvictionPolicy
 	// Seed makes server selection and query IDs deterministic; 0 uses 1.
 	Seed int64
 	// Registry, when non-nil, collects the client's telemetry — resolution
@@ -155,6 +166,20 @@ func ParseFarmPlacement(s string) (FarmPlacement, error) { return farm.ParsePlac
 // FarmStats is the fleet telemetry snapshot (per-frontend + aggregate).
 type FarmStats = farm.Stats
 
+// EvictionPolicy selects how caches order entries for eviction under
+// memory pressure.
+type EvictionPolicy = cache.EvictionPolicy
+
+// Cache eviction policies, re-exported for ClientConfig.
+const (
+	EvictFIFO = cache.EvictFIFO
+	EvictLRU  = cache.EvictLRU
+	EvictSLRU = cache.EvictSLRU
+)
+
+// ParseEvictionPolicy maps "fifo", "lru", or "slru" to a policy.
+func ParseEvictionPolicy(s string) (EvictionPolicy, error) { return cache.ParseEvictionPolicy(s) }
+
 // Client is an iterative caching DNS resolver — the library's front door
 // for resolution. With ClientConfig.Frontends > 1 it is a whole resolver
 // farm behind one Lookup.
@@ -179,19 +204,29 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.Frontends > 1 {
 		f := farm.New(farm.Config{
-			Frontends: cfg.Frontends,
-			Topology:  cfg.Topology,
-			Placement: cfg.Placement,
-			Coalesce:  cfg.Coalesce,
-			Policy:    cfg.Policy,
-			LocalRoot: cfg.LocalRoot,
-			Seed:      cfg.Seed,
-			Registry:  cfg.Registry,
-			Tracer:    cfg.Tracer,
+			Frontends:     cfg.Frontends,
+			Topology:      cfg.Topology,
+			Placement:     cfg.Placement,
+			Coalesce:      cfg.Coalesce,
+			Policy:        cfg.Policy,
+			CacheCapacity: cfg.CacheCapacity,
+			CacheBytes:    cfg.CacheBytes,
+			Eviction:      cfg.Eviction,
+			LocalRoot:     cfg.LocalRoot,
+			Seed:          cfg.Seed,
+			Registry:      cfg.Registry,
+			Tracer:        cfg.Tracer,
 		}, netip.MustParseAddr("127.0.0.1"), cfg.Net, cfg.Clock, cfg.Roots)
 		return &Client{f: f}, nil
 	}
 	r := resolver.New(netip.MustParseAddr("127.0.0.1"), cfg.Policy, cfg.Net, cfg.Clock, cfg.Roots, cfg.Seed)
+	if cfg.CacheCapacity > 0 || cfg.CacheBytes > 0 || cfg.Eviction != cache.EvictFIFO {
+		ccfg := cfg.Policy.CacheConfig()
+		ccfg.Capacity = cfg.CacheCapacity
+		ccfg.MaxBytes = cfg.CacheBytes
+		ccfg.Eviction = cfg.Eviction
+		r.Cache = cache.New(cfg.Clock, ccfg)
+	}
 	if cfg.LocalRoot != nil {
 		r.LocalRootZone = cfg.LocalRoot
 	}

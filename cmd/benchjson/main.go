@@ -1,11 +1,11 @@
 // Command benchjson runs the repo's performance-critical benchmarks
-// in-process and emits a machine-readable JSON report (BENCH_PR2.json), so
+// in-process and emits a machine-readable JSON report (BENCH_PR<n>.json), so
 // the perf trajectory of the codec, cache, resolver, farm and experiment
 // sweeps is tracked in-tree instead of in scrollback.
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -o BENCH_PR2.json
+//	go run ./cmd/benchjson -o BENCH_PR5.json
 //	go run ./cmd/benchjson -smoke   # CI smoke: skips the multi-second sweeps
 package main
 
@@ -168,6 +168,50 @@ func cacheBenches() []benchResult {
 				if _, _, ok := c.Get(name, dnswire.TypeA); !ok {
 					b.Fatal("miss")
 				}
+			}
+		}),
+		run("cache/get_hit_lru", func(b *testing.B) {
+			// Recency maintenance on the hot path must stay allocation-free
+			// (also pinned by TestGetHitAllocFreeLRU).
+			c := cache.New(simnet.NewVirtualClock(), cache.Config{Eviction: cache.EvictLRU})
+			c.Put(entry(name))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, ok := c.Get(name, dnswire.TypeA); !ok {
+					b.Fatal("miss")
+				}
+			}
+		}),
+		run("cache/put_bounded_lru", func(b *testing.B) {
+			// Byte-bounded Put under constant eviction pressure: a 4 KB bound
+			// holds ~30 entries, so nearly every Put evicts.
+			c := cache.New(simnet.NewVirtualClock(), cache.Config{
+				Eviction: cache.EvictLRU, MaxBytes: 4 << 10,
+			})
+			names := make([]dnswire.Name, 256)
+			for i := range names {
+				names[i] = dnswire.NewName(fmt.Sprintf("host%03d.example.org", i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Put(entry(names[i%len(names)]))
+			}
+		}),
+		run("cache/put_bounded_slru", func(b *testing.B) {
+			// Same pressure through the TinyLFU admission path (sketch lookups
+			// plus doorkeeper per candidate).
+			c := cache.New(simnet.NewVirtualClock(), cache.Config{
+				Eviction: cache.EvictSLRU, MaxBytes: 4 << 10, Capacity: 64,
+			})
+			names := make([]dnswire.Name, 256)
+			for i := range names {
+				names[i] = dnswire.NewName(fmt.Sprintf("host%03d.example.org", i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Put(entry(names[i%len(names)]))
 			}
 		}),
 		run("cache/purge_glue_of", func(b *testing.B) {
@@ -359,13 +403,57 @@ func sweepBench(probes int) sweepResult {
 	}
 }
 
+// pressureSweepBench times the cache-pressure grid (20 eviction-policy ×
+// cache-size × TTL cells, each an isolated world) serially and fanned out,
+// and checks byte-identical reports — the same determinism contract the
+// golden test pins.
+func pressureSweepBench(queries int) sweepResult {
+	const seed = 42
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+
+	time3 := func(w int) (time.Duration, []byte) {
+		best := time.Duration(0)
+		var rep []byte
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			r := experiments.PressureRun(queries, w, seed).JSON()
+			if d := time.Since(t0); best == 0 || d < best {
+				best, rep = d, r
+			}
+		}
+		return best, rep
+	}
+	serialDur, serial := time3(1)
+	parallelDur, parallel := time3(workers)
+
+	speedup := 0.0
+	if parallelDur > 0 {
+		speedup = serialDur.Seconds() / parallelDur.Seconds()
+	}
+	return sweepResult{
+		Experiment:      "cache-pressure",
+		Configs:         20,
+		Probes:          queries,
+		SerialSeconds:   serialDur.Seconds(),
+		ParallelWorkers: workers,
+		ParallelSeconds: parallelDur.Seconds(),
+		Speedup:         speedup,
+		Deterministic:   string(serial) == string(parallel),
+		Note: fmt.Sprintf("queries per cell; wall-clock speedup is bounded by the host's %d CPU(s)",
+			runtime.NumCPU()),
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR2.json", "output file ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR5.json", "output file ('-' for stdout)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: skip the multi-second sweep timings")
 	probes := flag.Int("probes", 120, "probe count per sweep cell")
 	flag.Parse()
@@ -396,6 +484,7 @@ func main() {
 	rep.Benchmarks = append(rep.Benchmarks, resolveBenches()...)
 	if !*smoke {
 		rep.Sweeps = append(rep.Sweeps, sweepBench(*probes))
+		rep.Sweeps = append(rep.Sweeps, pressureSweepBench(2000))
 	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")

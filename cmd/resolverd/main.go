@@ -44,6 +44,11 @@ func main() {
 		backoff       = flag.Duration("backoff", 0, "delay before the first retry, doubling per retry (0 = none)")
 		hedge         = flag.Duration("hedge", 0, "launch a hedged query to the next-best server after this delay (0 = off)")
 		srtt          = flag.Bool("srtt", false, "order candidate servers by smoothed RTT instead of shuffling")
+		cacheBytes    = flag.Int64("cache-bytes", 0, "cache memory bound in bytes, wire-format accounted (0 = unbounded)")
+		cacheEntries  = flag.Int("cache-entries", 0, "cache entry-count bound (0 = unbounded)")
+		eviction      = flag.String("eviction", "fifo", "cache eviction policy: fifo, lru, or slru (TinyLFU admission)")
+		prefetch      = flag.Float64("prefetch", 0, "refresh-ahead: re-resolve popular entries in the last FRACTION of their TTL (0 = off)")
+		prefetchBudg  = flag.Int("prefetch-budget", 0, "max refresh-ahead resolutions per minute (0 = unlimited)")
 	)
 	flag.Parse()
 	if *roots == "" {
@@ -75,13 +80,30 @@ func main() {
 		Hedge:       *hedge,
 		OrderBySRTT: *srtt,
 	}
+	if *prefetch > 0 {
+		if *prefetch > 1 {
+			fmt.Fprintln(os.Stderr, "resolverd: -prefetch must be a fraction in (0,1]")
+			os.Exit(2)
+		}
+		pol.Prefetch = true
+		pol.PrefetchFraction = *prefetch
+		pol.PrefetchBudget = *prefetchBudg
+	}
+	evict, err := dnsttl.ParseEvictionPolicy(*eviction)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resolverd:", err)
+		os.Exit(2)
+	}
 
 	cfg := dnsttl.ClientConfig{
-		Policy:    pol,
-		Roots:     rootAddrs,
-		Net:       dnsttl.UDPNet{Port: uint16(*rootPort)},
-		Frontends: *frontends,
-		Coalesce:  *coalesce,
+		Policy:        pol,
+		Roots:         rootAddrs,
+		Net:           dnsttl.UDPNet{Port: uint16(*rootPort)},
+		Frontends:     *frontends,
+		Coalesce:      *coalesce,
+		CacheCapacity: *cacheEntries,
+		CacheBytes:    *cacheBytes,
+		Eviction:      evict,
 	}
 	if *metrics != "" {
 		cfg.Registry = dnsttl.NewRegistry(nil)
@@ -143,7 +165,8 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	st := client.CacheStats()
-	fmt.Printf("\ncache: %d entries, %d hits, %d misses\n", st.Entries, st.Hits, st.Misses)
+	fmt.Printf("\ncache: %d entries (%d bytes), %d hits, %d misses, %d evictions, %d prefetches\n",
+		st.Entries, st.Bytes, st.Hits, st.Misses, st.Evictions, st.Prefetches)
 	if fs, ok := client.FarmStats(); ok {
 		fmt.Print(fs.String())
 	}

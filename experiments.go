@@ -53,7 +53,7 @@ var ExperimentIDs = []string{
 	"table8", "table9", "figure10", "table10",
 	"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 	"dnssec", "hitrate", "outage-sweep", "propagation", "parent-child",
-	"farm-fragmentation", "chaos",
+	"farm-fragmentation", "chaos", "cache-pressure",
 }
 
 // RunExperiment regenerates one paper artifact. IDs are listed in
@@ -121,6 +121,8 @@ func RunExperiment(id string, sc ExperimentScale) (*Report, error) {
 		return experiments.FarmFragmentation(sc.Probes*20, sc.Workers, sc.Seed), nil
 	case "chaos":
 		return experiments.ChaosExperiment(max(sc.Probes/40, 2), sc.Workers, sc.Seed, sc.Chaos), nil
+	case "cache-pressure":
+		return experiments.CachePressure(sc.Probes*16, sc.Workers, sc.Seed), nil
 	}
 	return nil, fmt.Errorf("dnsttl: unknown experiment %q (known: %v)", id, ExperimentIDs)
 }
@@ -151,7 +153,7 @@ func RunAllExperiments(sc ExperimentScale) ([]*Report, error) {
 		"figure10", "table10",
 		"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 		"dnssec", "hitrate", "outage-sweep", "propagation",
-		"farm-fragmentation", "chaos",
+		"farm-fragmentation", "chaos", "cache-pressure",
 	} {
 		r, err := RunExperiment(id, sc)
 		if err != nil {

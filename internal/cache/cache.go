@@ -5,6 +5,12 @@
 // flooring as deployed resolvers do, serve-stale (RFC 8767), and glue
 // tagging so resolver policy can couple an in-bailiwick A record's lifetime
 // to its covering NS RRset.
+//
+// Beyond TTL decay, the cache models memory pressure: entries are charged
+// their uncompressed wire-format size, a MaxBytes bound can force eviction
+// before TTL expiry, and the eviction order is pluggable (FIFO, LRU, or
+// segmented-LRU with TinyLFU admission) — the regime where cache size, not
+// TTL, limits the hit rate.
 package cache
 
 import (
@@ -88,6 +94,13 @@ type Entry struct {
 	// Server is the authoritative address the data came from, for
 	// stickiness analysis.
 	Server string
+
+	// Eviction-plane bookkeeping, owned by the cache that stores the entry
+	// and guarded by its lock. el is the entry's handle in its evictor's
+	// order list, seg its SLRU segment tag, bytes its charged size.
+	el    *list.Element
+	seg   uint8
+	bytes int32
 }
 
 // expiresAt is when the entry stops being fresh.
@@ -108,6 +121,23 @@ func (e *Entry) Remaining(now time.Time) (uint32, bool) {
 	return e.TTL - sec, true
 }
 
+// entryIndexOverhead approximates the per-entry bookkeeping bytes beyond
+// the records themselves: the map slot, the order-list element, and the
+// Entry struct header. A flat constant keeps the accounting deterministic
+// across architectures.
+const entryIndexOverhead = 96
+
+// entryBytes is the memory charge for e: index overhead plus the
+// uncompressed wire size of every record (dnswire.RR.WireSize). Negative
+// entries carry no records and cost only the overhead plus their key.
+func entryBytes(e *Entry) int32 {
+	n := entryIndexOverhead + len(e.Key.Name)
+	for i := range e.RRs {
+		n += e.RRs[i].WireSize()
+	}
+	return int32(n)
+}
+
 // Config tunes cache behavior; the zero value is a plain RFC-conformant
 // cache with a 1M-entry bound.
 type Config struct {
@@ -123,9 +153,19 @@ type Config struct {
 	// StaleFor bounds how long past expiry stale data may be served.
 	// Zero means 1 day, the RFC 8767 suggestion.
 	StaleFor time.Duration
-	// Capacity bounds the entry count; 0 means 1<<20. Oldest-stored
-	// entries are evicted first.
+	// Capacity bounds the entry count; 0 means 1<<20. When the bound is
+	// reached, the Eviction policy picks the victim (the zero-value policy
+	// is FIFO: oldest-stored first).
 	Capacity int
+	// MaxBytes bounds the memory charge of resident entries (wire-format
+	// record bytes plus index overhead; see Stats.Bytes). 0 means
+	// unbounded. Like Capacity, the Eviction policy picks victims when a
+	// Put would exceed the bound.
+	MaxBytes int64
+	// Eviction selects the eviction policy: EvictFIFO (zero value, the
+	// legacy oldest-stored-first order), EvictLRU, or EvictSLRU
+	// (segmented LRU with TinyLFU admission).
+	Eviction EvictionPolicy
 }
 
 func (c Config) capacity() int {
@@ -167,6 +207,10 @@ type Store interface {
 	Stats() Stats
 	// Keys lists all cached keys, for inspection.
 	Keys() []Key
+	// NotePrefetch counts a refresh-ahead prefetch issued on behalf of this
+	// store, so prefetch load shows up next to the hit/miss counters it
+	// protects.
+	NotePrefetch()
 }
 
 // Cache is a TTL-decaying, credibility-ranked DNS cache.
@@ -175,8 +219,9 @@ type Cache struct {
 	cfg   Config
 
 	mu      sync.Mutex
-	entries map[Key]*list.Element
-	order   *list.List // FIFO by Stored, for eviction
+	entries map[Key]*Entry
+	evictor Evictor // eviction order; all calls under mu
+	bytes   int64   // resident memory charge, guarded by mu
 	// glueIdx maps an NS owner name to the keys cached as glue for it, so
 	// PurgeGlueOf touches only the glue records instead of scanning the
 	// whole cache.
@@ -186,6 +231,7 @@ type Cache struct {
 	// /metrics scrape or a concurrent experiment) without taking the cache
 	// lock and without racing the Get/Put paths that bump them.
 	hits, misses, evictions, staleHits atomic.Uint64
+	prefetches, admissionRejects       atomic.Uint64
 }
 
 // New creates a cache on the given clock (nil means wall clock).
@@ -196,17 +242,17 @@ func New(clock simnet.Clock, cfg Config) *Cache {
 	return &Cache{
 		clock:   clock,
 		cfg:     cfg,
-		entries: make(map[Key]*list.Element),
-		order:   list.New(),
+		entries: make(map[Key]*Entry),
+		evictor: newEvictor(cfg.Eviction, cfg.capacity()),
 		glueIdx: make(map[dnswire.Name]map[Key]struct{}),
 	}
 }
 
-// removeLocked unlinks el from every internal structure.
-func (c *Cache) removeLocked(el *list.Element) {
-	e := el.Value.(*Entry)
-	c.order.Remove(el)
+// removeLocked unlinks e from every internal structure.
+func (c *Cache) removeLocked(e *Entry) {
+	c.evictor.Remove(e)
 	delete(c.entries, e.Key)
+	c.bytes -= int64(e.bytes)
 	if e.GlueOf != "" {
 		if keys := c.glueIdx[e.GlueOf]; keys != nil {
 			delete(keys, e.Key)
@@ -234,25 +280,40 @@ func (c *Cache) indexGlueLocked(e *Entry) {
 type Stats struct {
 	Hits, Misses, Evictions, StaleHits uint64
 	Entries                            int
+	// Bytes is the resident memory charge: wire-format record bytes plus
+	// per-entry index overhead.
+	Bytes int64
+	// Prefetches counts refresh-ahead re-resolutions issued for entries in
+	// this store (see Store.NotePrefetch).
+	Prefetches uint64
+	// AdmissionRejects counts Puts turned away at the bound because the
+	// admission filter judged the candidate less popular than the victim
+	// (SLRU/TinyLFU only).
+	AdmissionRejects uint64
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	entries := len(c.entries)
+	bytes := c.bytes
 	c.mu.Unlock()
 	return Stats{
 		Hits: c.hits.Load(), Misses: c.misses.Load(), Evictions: c.evictions.Load(),
-		StaleHits: c.staleHits.Load(), Entries: entries,
+		StaleHits: c.staleHits.Load(), Entries: entries, Bytes: bytes,
+		Prefetches: c.prefetches.Load(), AdmissionRejects: c.admissionRejects.Load(),
 	}
 }
 
+// NotePrefetch counts one refresh-ahead prefetch against this cache.
+func (c *Cache) NotePrefetch() { c.prefetches.Add(1) }
+
 // Instrument bridges a cache's counters into the telemetry registry as
 // snapshot-time gauges named <prefix>.hits, .misses, .evictions,
-// .stale_hits, and .entries. The stats function is called at scrape time,
-// so one registration follows the cache's live state; any Store (single
-// cache, sharded pool, or a farm fleet aggregate) can be bridged. A nil
-// registry is a no-op.
+// .stale_hits, .entries, .bytes, .prefetches, and .admission_rejects. The
+// stats function is called at scrape time, so one registration follows the
+// cache's live state; any Store (single cache, sharded pool, or a farm
+// fleet aggregate) can be bridged. A nil registry is a no-op.
 func Instrument(reg *obs.Registry, prefix string, stats func() Stats) {
 	if reg == nil {
 		return
@@ -262,6 +323,9 @@ func Instrument(reg *obs.Registry, prefix string, stats func() Stats) {
 	reg.GaugeFunc(prefix+".evictions", func() float64 { return float64(stats().Evictions) })
 	reg.GaugeFunc(prefix+".stale_hits", func() float64 { return float64(stats().StaleHits) })
 	reg.GaugeFunc(prefix+".entries", func() float64 { return float64(stats().Entries) })
+	reg.GaugeFunc(prefix+".bytes", func() float64 { return float64(stats().Bytes) })
+	reg.GaugeFunc(prefix+".prefetches", func() float64 { return float64(stats().Prefetches) })
+	reg.GaugeFunc(prefix+".admission_rejects", func() float64 { return float64(stats().AdmissionRejects) })
 }
 
 // Len returns the number of entries, expired ones included.
@@ -271,9 +335,18 @@ func (c *Cache) Len() int {
 	return len(c.entries)
 }
 
+// Bytes returns the resident memory charge.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
 // Put stores e, applying TTL cap/floor, and returns whether the entry was
 // stored. An unexpired existing entry with higher credibility wins over the
-// new data (RFC 2181 §5.4.1); equal or higher credibility replaces.
+// new data (RFC 2181 §5.4.1); equal or higher credibility replaces. Under a
+// Capacity or MaxBytes bound, an SLRU admission filter may also turn away a
+// new key it judges less popular than the eviction victim.
 func (c *Cache) Put(e Entry) bool {
 	now := c.clock.Now()
 	if e.Stored.IsZero() {
@@ -285,31 +358,60 @@ func (c *Cache) Put(e Entry) bool {
 	if e.TTL < c.cfg.MinTTL {
 		e.TTL = c.cfg.MinTTL
 	}
+	e.el, e.seg = nil, 0
+	e.bytes = entryBytes(&e)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[e.Key]; ok {
-		old := el.Value.(*Entry)
+	resident := false
+	if old, ok := c.entries[e.Key]; ok {
 		if _, fresh := old.Remaining(now); fresh && old.Cred > e.Cred {
 			return false
 		}
-		c.removeLocked(el)
+		c.removeLocked(old)
+		resident = true
 	}
-	c.evictToFitLocked()
-	el := c.order.PushBack(&e)
-	c.entries[e.Key] = el
+	// A key that was already resident skips the admission filter: it has
+	// paid its way in, and its replacement does not grow the entry count.
+	if !c.evictToFitLocked(&e, !resident, now) {
+		return false
+	}
+	c.entries[e.Key] = &e
+	c.evictor.Push(&e)
+	c.bytes += int64(e.bytes)
 	c.indexGlueLocked(&e)
 	return true
 }
 
-func (c *Cache) evictToFitLocked() {
-	for len(c.entries) >= c.cfg.capacity() {
-		front := c.order.Front()
-		if front == nil {
-			return
+// evictToFitLocked makes room for cand, evicting victims in policy order
+// until both the entry-count and byte bounds hold. It reports false when
+// cand cannot be stored at all: it alone exceeds MaxBytes, or the policy's
+// admission filter prefers the current victim (checked once, against the
+// first fresh victim, per TinyLFU — an expired victim carries no value
+// worth defending, so it is evicted without a vote).
+func (c *Cache) evictToFitLocked(cand *Entry, admit bool, now time.Time) bool {
+	if c.cfg.MaxBytes > 0 && int64(cand.bytes) > c.cfg.MaxBytes {
+		return false
+	}
+	admissionChecked := !admit
+	for len(c.entries) >= c.cfg.capacity() ||
+		(c.cfg.MaxBytes > 0 && c.bytes+int64(cand.bytes) > c.cfg.MaxBytes) {
+		victim := c.evictor.Victim()
+		if victim == nil {
+			return true
 		}
-		c.removeLocked(front)
+		if !admissionChecked {
+			if _, fresh := victim.Remaining(now); fresh {
+				admissionChecked = true
+				if !c.evictor.Admit(cand.Key, victim) {
+					c.admissionRejects.Add(1)
+					return false
+				}
+			}
+		}
+		c.removeLocked(victim)
 		c.evictions.Add(1)
 	}
+	return true
 }
 
 // Get returns the fresh entry for (name, t) and its remaining TTL.
@@ -321,17 +423,18 @@ func (c *Cache) Get(name dnswire.Name, t dnswire.Type) (*Entry, uint32, bool) {
 }
 
 func (c *Cache) getLocked(k Key, now time.Time) (*Entry, uint32, bool) {
-	el, ok := c.entries[k]
+	c.evictor.Record(k)
+	e, ok := c.entries[k]
 	if !ok {
 		c.misses.Add(1)
 		return nil, 0, false
 	}
-	e := el.Value.(*Entry)
 	rem, fresh := e.Remaining(now)
 	if !fresh {
 		c.misses.Add(1)
 		return nil, 0, false
 	}
+	c.evictor.Touch(e)
 	c.hits.Add(1)
 	return e, rem, true
 }
@@ -350,11 +453,10 @@ func (c *Cache) GetStale(name dnswire.Name, t dnswire.Type) (*Entry, uint32, boo
 	if !c.cfg.ServeStale {
 		return nil, 0, false
 	}
-	el, ok := c.entries[k]
+	e, ok := c.entries[k]
 	if !ok {
 		return nil, 0, false
 	}
-	e := el.Value.(*Entry)
 	if now.Sub(e.expiresAt()) > c.cfg.staleFor() {
 		return nil, 0, false
 	}
@@ -367,11 +469,11 @@ func (c *Cache) Remove(name dnswire.Name, t dnswire.Type) bool {
 	k := Key{Name: name, Type: t}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[k]
+	e, ok := c.entries[k]
 	if !ok {
 		return false
 	}
-	c.removeLocked(el)
+	c.removeLocked(e)
 	return true
 }
 
@@ -394,19 +496,18 @@ func (c *Cache) PurgeGlueOf(nsOwner dnswire.Name) int {
 func (c *Cache) Flush() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = make(map[Key]*list.Element)
-	c.order.Init()
+	c.entries = make(map[Key]*Entry)
+	c.evictor.Reset()
+	c.bytes = 0
 	c.glueIdx = make(map[dnswire.Name]map[Key]struct{})
 }
 
-// Keys returns all cached keys (expired included), for inspection in tests
-// and experiments.
+// Keys returns all cached keys (expired included) in eviction order (next
+// victim first), for inspection in tests and experiments.
 func (c *Cache) Keys() []Key {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]Key, 0, len(c.entries))
-	for el := c.order.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*Entry).Key)
-	}
+	c.evictor.Walk(func(e *Entry) { out = append(out, e.Key) })
 	return out
 }

@@ -1,0 +1,242 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// EvictionPolicy selects how the cache orders entries for eviction under
+// pressure (entry-count or byte bound). The zero value is FIFO, the legacy
+// behavior: a zero-value Config builds a cache behaviorally identical to
+// the pre-pressure-plane implementation.
+type EvictionPolicy uint8
+
+const (
+	// EvictFIFO evicts oldest-stored first, ignoring accesses. This is the
+	// legacy (and zero-value) policy.
+	EvictFIFO EvictionPolicy = iota
+	// EvictLRU evicts least-recently-used first: every cache hit moves the
+	// entry to the tail of the eviction order.
+	EvictLRU
+	// EvictSLRU is a segmented LRU with TinyLFU admission: new entries land
+	// in a probationary segment and are promoted on re-reference; at the
+	// bound, a frequency sketch with a doorkeeper decides whether a new key
+	// is popular enough to displace the current victim at all. One-hit
+	// wonders — the long Zipf tail of DNS names — never push out warm
+	// entries.
+	EvictSLRU
+)
+
+// ParseEvictionPolicy maps the CLI spellings to a policy.
+func ParseEvictionPolicy(s string) (EvictionPolicy, error) {
+	switch s {
+	case "fifo", "":
+		return EvictFIFO, nil
+	case "lru":
+		return EvictLRU, nil
+	case "slru", "tinylfu":
+		return EvictSLRU, nil
+	}
+	return EvictFIFO, fmt.Errorf("cache: unknown eviction policy %q (want fifo, lru, or slru)", s)
+}
+
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictLRU:
+		return "lru"
+	case EvictSLRU:
+		return "slru"
+	}
+	return "fifo"
+}
+
+// Evictor is the pluggable eviction order behind a Cache. Implementations
+// own the order structure(s) and track membership through the entry's
+// unexported handle fields; the cache calls every method with its lock
+// held, so evictors need no locking of their own, and every operation is
+// O(1).
+type Evictor interface {
+	// Push links a newly stored entry into the order.
+	Push(e *Entry)
+	// Touch notes a cache hit on a resident entry.
+	Touch(e *Entry)
+	// Record notes a lookup of k (hit or miss), feeding any frequency state
+	// the policy keeps for admission decisions.
+	Record(k Key)
+	// Remove unlinks e from the order.
+	Remove(e *Entry)
+	// Victim returns the entry the policy would evict next, or nil.
+	Victim() *Entry
+	// Admit reports whether cand deserves to displace victim when the cache
+	// is at its bound. Policies without admission control always say yes.
+	Admit(cand Key, victim *Entry) bool
+	// Walk visits every resident entry in eviction order (victim first).
+	Walk(fn func(e *Entry))
+	// Reset empties the order (and any frequency state).
+	Reset()
+}
+
+// newEvictor builds the evictor for a policy. capacity sizes any frequency
+// state (the SLRU sketch and segment split); FIFO and LRU ignore it.
+func newEvictor(p EvictionPolicy, capacity int) Evictor {
+	switch p {
+	case EvictLRU:
+		return &lruEvictor{listEvictor{order: list.New()}}
+	case EvictSLRU:
+		return newSLRUEvictor(capacity)
+	}
+	return &fifoEvictor{listEvictor{order: list.New()}}
+}
+
+// listEvictor is the shared single-list machinery of FIFO and LRU: push to
+// back, evict from front. The two differ only in what a hit does.
+type listEvictor struct{ order *list.List }
+
+func (l *listEvictor) Push(e *Entry)   { e.el = l.order.PushBack(e) }
+func (l *listEvictor) Record(Key)      {}
+func (l *listEvictor) Remove(e *Entry) { l.order.Remove(e.el); e.el = nil }
+func (l *listEvictor) Victim() *Entry {
+	front := l.order.Front()
+	if front == nil {
+		return nil
+	}
+	return front.Value.(*Entry)
+}
+func (l *listEvictor) Admit(Key, *Entry) bool { return true }
+func (l *listEvictor) Reset()                 { l.order.Init() }
+func (l *listEvictor) Walk(fn func(e *Entry)) {
+	for el := l.order.Front(); el != nil; el = el.Next() {
+		fn(el.Value.(*Entry))
+	}
+}
+
+// fifoEvictor is the legacy order: insertion order, hits change nothing.
+type fifoEvictor struct{ listEvictor }
+
+func (f *fifoEvictor) Touch(*Entry) {}
+
+// lruEvictor keeps one recency list: hits move to the back.
+type lruEvictor struct{ listEvictor }
+
+func (l *lruEvictor) Touch(e *Entry) { l.order.MoveToBack(e.el) }
+
+// Segment tags for slruEvictor, stored on the entry so segment membership
+// is O(1) without a side map.
+const (
+	segProbation uint8 = 1
+	segProtected uint8 = 2
+)
+
+// slruEvictor is a segmented LRU (probation + protected) with a TinyLFU
+// frequency sketch and doorkeeper deciding admission at the bound.
+//
+// New entries enter probation; a hit promotes to protected, whose overflow
+// demotes its own LRU end back to probation — scanning workloads churn
+// probation while the protected segment holds the proven-warm set. Victims
+// come from probation's LRU end first, so a warm entry is never displaced
+// by a key that has not earned a second access.
+type slruEvictor struct {
+	probation *list.List
+	protected *list.List
+	protCap   int
+	sketch    *freqSketch
+}
+
+// protectedFraction is the share of the entry capacity reserved for the
+// protected segment, per the SLRU literature's 80/20 split.
+const protectedFraction = 0.8
+
+func newSLRUEvictor(capacity int) *slruEvictor {
+	protCap := int(float64(capacity) * protectedFraction)
+	if protCap < 1 {
+		protCap = 1
+	}
+	return &slruEvictor{
+		probation: list.New(),
+		protected: list.New(),
+		protCap:   protCap,
+		sketch:    newFreqSketch(capacity),
+	}
+}
+
+func (s *slruEvictor) Push(e *Entry) {
+	e.seg = segProbation
+	e.el = s.probation.PushBack(e)
+}
+
+func (s *slruEvictor) Touch(e *Entry) {
+	if e.seg == segProtected {
+		s.protected.MoveToBack(e.el)
+		return
+	}
+	// Promote out of probation. Elements cannot migrate between lists, so
+	// re-insert and refresh the handle.
+	s.probation.Remove(e.el)
+	e.seg = segProtected
+	e.el = s.protected.PushBack(e)
+	if s.protected.Len() > s.protCap {
+		if front := s.protected.Front(); front != nil {
+			de := front.Value.(*Entry)
+			s.protected.Remove(front)
+			de.seg = segProbation
+			de.el = s.probation.PushBack(de)
+		}
+	}
+}
+
+func (s *slruEvictor) Record(k Key) { s.sketch.record(keyHash64(k)) }
+
+func (s *slruEvictor) Remove(e *Entry) {
+	if e.seg == segProtected {
+		s.protected.Remove(e.el)
+	} else {
+		s.probation.Remove(e.el)
+	}
+	e.el, e.seg = nil, 0
+}
+
+func (s *slruEvictor) Victim() *Entry {
+	if front := s.probation.Front(); front != nil {
+		return front.Value.(*Entry)
+	}
+	if front := s.protected.Front(); front != nil {
+		return front.Value.(*Entry)
+	}
+	return nil
+}
+
+// Admit is the TinyLFU doorkeeper decision: the candidate must be strictly
+// more popular than the victim to displace it. Ties reject, which keeps a
+// stream of one-hit wonders from cycling the probation segment.
+func (s *slruEvictor) Admit(cand Key, victim *Entry) bool {
+	return s.sketch.estimate(keyHash64(cand)) > s.sketch.estimate(keyHash64(victim.Key))
+}
+
+func (s *slruEvictor) Walk(fn func(e *Entry)) {
+	for el := s.probation.Front(); el != nil; el = el.Next() {
+		fn(el.Value.(*Entry))
+	}
+	for el := s.protected.Front(); el != nil; el = el.Next() {
+		fn(el.Value.(*Entry))
+	}
+}
+
+func (s *slruEvictor) Reset() {
+	s.probation.Init()
+	s.protected.Init()
+	s.sketch.reset()
+}
+
+// keyHash64 is an allocation-free FNV-1a over the key's name and type, used
+// by the frequency sketch. (cache.KeyHash exists but converts the name to a
+// byte slice, which allocates; this sits on the Get hot path of an SLRU
+// cache.)
+func keyHash64(k Key) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.Name); i++ {
+		h = (h ^ uint64(k.Name[i])) * 1099511628211
+	}
+	h = (h ^ uint64(k.Type>>8)) * 1099511628211
+	h = (h ^ uint64(k.Type&0xff)) * 1099511628211
+	return h
+}

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"hash/fnv"
+	"sync/atomic"
 
 	"dnsttl/internal/dnswire"
 	"dnsttl/internal/simnet"
@@ -18,10 +19,15 @@ import (
 // exactly as they would in a single Cache.
 type Sharded struct {
 	shards []*Cache
+	// prefetches counts refresh-ahead prefetches noted against the pool as
+	// a whole; a prefetch protects a key, not a shard, so the pool keeps
+	// one counter instead of attributing to shards.
+	prefetches atomic.Uint64
 }
 
 // NewSharded builds a pool of n shards on the given clock, each configured
-// with cfg. Capacity in cfg is per shard. n < 1 is treated as 1.
+// with cfg. Capacity and MaxBytes in cfg are per shard. n < 1 is treated
+// as 1.
 func NewSharded(clock simnet.Clock, cfg Config, n int) *Sharded {
 	if n < 1 {
 		n = 1
@@ -98,7 +104,8 @@ func (s *Sharded) Len() int {
 	return n
 }
 
-// Stats aggregates the counters of every shard.
+// Stats aggregates the counters of every shard, plus the pool-level
+// prefetch count.
 func (s *Sharded) Stats() Stats {
 	var out Stats
 	for _, sh := range s.shards {
@@ -108,9 +115,16 @@ func (s *Sharded) Stats() Stats {
 		out.Evictions += st.Evictions
 		out.StaleHits += st.StaleHits
 		out.Entries += st.Entries
+		out.Bytes += st.Bytes
+		out.Prefetches += st.Prefetches
+		out.AdmissionRejects += st.AdmissionRejects
 	}
+	out.Prefetches += s.prefetches.Load()
 	return out
 }
+
+// NotePrefetch counts one refresh-ahead prefetch against the pool.
+func (s *Sharded) NotePrefetch() { s.prefetches.Add(1) }
 
 // Keys lists cached keys shard by shard.
 func (s *Sharded) Keys() []Key {

@@ -1,0 +1,149 @@
+package cache
+
+// freqSketch is the TinyLFU admission filter: a 4-bit count-min sketch with
+// periodic aging, fronted by a doorkeeper bloom filter that absorbs the
+// first occurrence of every key. DNS workloads are dominated by a long tail
+// of names queried exactly once; the doorkeeper keeps them out of the
+// sketch entirely, so the 4-bit counters measure only keys seen at least
+// twice, and the aging halving keeps the estimate tracking the recent
+// window rather than all time (the TinyLFU "reset" operation).
+//
+// All operations are O(1), allocation-free, and run under the owning
+// cache's lock.
+type freqSketch struct {
+	// counters packs 16 4-bit counters per uint64 word. Four independent
+	// hash rows are derived from one 64-bit key hash.
+	counters []uint64
+	mask     uint64 // counter-index mask; len(counters)*16 is a power of two
+	// door is the doorkeeper bloom filter (2 hash functions).
+	door     []uint64
+	doorMask uint64 // bit-index mask
+	// additions counts sketch increments since the last aging; at
+	// sampleCap the counters halve and the doorkeeper clears.
+	additions int
+	sampleCap int
+}
+
+// Sketch sizing bounds: at least 1k counters so small caches still get a
+// useful signal, at most 128k so a default (1M-entry) capacity does not
+// allocate megabytes of sketch.
+const (
+	sketchMinCounters = 1 << 10
+	sketchMaxCounters = 1 << 17
+)
+
+// newFreqSketch sizes the sketch for an expected population of capacity
+// entries: counters ≈ capacity rounded up to a power of two (clamped), a
+// doorkeeper of 8 bits per counter, and a sample window of 10× the counter
+// count per the TinyLFU paper.
+func newFreqSketch(capacity int) *freqSketch {
+	n := sketchMinCounters
+	for n < capacity && n < sketchMaxCounters {
+		n <<= 1
+	}
+	return &freqSketch{
+		counters:  make([]uint64, n/16),
+		mask:      uint64(n - 1),
+		door:      make([]uint64, n/64),
+		doorMask:  uint64(n - 1),
+		sampleCap: 10 * n,
+	}
+}
+
+// spread re-mixes h into four row hashes. The multipliers are odd 64-bit
+// constants (splitmix64 finalizer style), so the rows are effectively
+// independent.
+func spread(h uint64, row uint) uint64 {
+	h += uint64(row) * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// doorTest reports whether h is (probably) in the doorkeeper.
+func (s *freqSketch) doorTest(h uint64) bool {
+	b1 := spread(h, 7) & s.doorMask
+	b2 := spread(h, 8) & s.doorMask
+	return s.door[b1>>6]&(1<<(b1&63)) != 0 && s.door[b2>>6]&(1<<(b2&63)) != 0
+}
+
+// doorSet inserts h into the doorkeeper.
+func (s *freqSketch) doorSet(h uint64) {
+	b1 := spread(h, 7) & s.doorMask
+	b2 := spread(h, 8) & s.doorMask
+	s.door[b1>>6] |= 1 << (b1 & 63)
+	s.door[b2>>6] |= 1 << (b2 & 63)
+}
+
+// counterAt returns the 4-bit counter for row i of hash h.
+func (s *freqSketch) counterAt(h uint64, row uint) (word int, shift uint) {
+	idx := spread(h, row) & s.mask
+	return int(idx >> 4), uint(idx&15) << 2
+}
+
+// record notes one occurrence of a key hash: first sighting arms the
+// doorkeeper, repeats increment the sketch rows (saturating at 15).
+func (s *freqSketch) record(h uint64) {
+	if !s.doorTest(h) {
+		s.doorSet(h)
+		return
+	}
+	bumped := false
+	for row := uint(0); row < 4; row++ {
+		w, sh := s.counterAt(h, row)
+		if c := (s.counters[w] >> sh) & 0xf; c < 15 {
+			s.counters[w] += 1 << sh
+			bumped = true
+		}
+	}
+	if bumped {
+		s.additions++
+		if s.additions >= s.sampleCap {
+			s.age()
+		}
+	}
+}
+
+// estimate returns the key's frequency estimate: the count-min minimum over
+// the rows, plus one if the doorkeeper has seen it.
+func (s *freqSketch) estimate(h uint64) uint32 {
+	min := uint64(15)
+	for row := uint(0); row < 4; row++ {
+		w, sh := s.counterAt(h, row)
+		if c := (s.counters[w] >> sh) & 0xf; c < min {
+			min = c
+		}
+	}
+	est := uint32(min)
+	if s.doorTest(h) {
+		est++
+	}
+	return est
+}
+
+// age halves every counter and clears the doorkeeper — the TinyLFU reset
+// that keeps estimates tracking the recent request window.
+func (s *freqSketch) age() {
+	for i := range s.counters {
+		// Halve all 16 packed counters at once: shift, then mask off the
+		// bit that bled in from each neighbor's low end.
+		s.counters[i] = (s.counters[i] >> 1) & 0x7777777777777777
+	}
+	for i := range s.door {
+		s.door[i] = 0
+	}
+	s.additions = 0
+}
+
+// reset clears all frequency state.
+func (s *freqSketch) reset() {
+	for i := range s.counters {
+		s.counters[i] = 0
+	}
+	for i := range s.door {
+		s.door[i] = 0
+	}
+	s.additions = 0
+}

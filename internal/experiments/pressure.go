@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+
+	"dnsttl/internal/authoritative"
+	"dnsttl/internal/cache"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/resolver"
+	"dnsttl/internal/simnet"
+	"dnsttl/internal/stats"
+	"dnsttl/internal/workload"
+	"dnsttl/internal/zone"
+)
+
+// The cache-pressure sweep extends the paper's hit-rate-vs-TTL analysis
+// (§4, Tables 4–5) into the memory-bounded regime real resolvers operate
+// in: when the cache cannot hold the working set, eviction — not TTL expiry
+// — limits the hit rate, and the eviction policy decides how much of the
+// paper's TTL effect survives. The grid crosses cache size (MaxBytes) ×
+// record TTL × eviction policy under one Zipf/Poisson workload, plus
+// refresh-ahead rows showing prefetch recovering hit rate at short TTLs.
+//
+// Every cell builds its own clock, network, zones, and resolver and replays
+// the identical query stream, so cells are comparable point-for-point and
+// the sweep is deterministic at any worker count. The JSON report is
+// integer-only and golden-pinned in testdata/pressure_golden.json.
+
+// PressureCell is one grid point's outcome. Counters are integers (hit rate
+// is reported per-mille) so the JSON encoding is byte-stable.
+type PressureCell struct {
+	Policy           string `json:"policy"`
+	MaxKB            int    `json:"max_kb"`
+	TTL              int    `json:"ttl_s"`
+	Prefetch         bool   `json:"prefetch"`
+	Answered         int    `json:"answered"`
+	Hits             int    `json:"hits"`
+	HitPerMille      int    `json:"hit_per_mille"`
+	Evictions        int    `json:"evictions"`
+	AdmissionRejects int    `json:"admission_rejects"`
+	Prefetches       int    `json:"prefetches"`
+	AuthQueries      int    `json:"auth_queries"`
+	FinalEntries     int    `json:"final_entries"`
+	FinalBytes       int    `json:"final_bytes"`
+}
+
+// PressureReport is the sweep's full outcome, in grid order: sizes outer,
+// TTLs middle, policies inner, refresh-ahead rows last.
+type PressureReport struct {
+	Seed    int            `json:"seed"`
+	Queries int            `json:"queries_per_cell"`
+	Names   int            `json:"names"`
+	Cells   []PressureCell `json:"cells"`
+}
+
+// JSON renders the report as stable, indented JSON — the golden format.
+func (r *PressureReport) JSON() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// Cell finds a grid point by coordinates (nil if absent).
+func (r *PressureReport) Cell(policy string, maxKB, ttl int, prefetch bool) *PressureCell {
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Policy == policy && c.MaxKB == maxKB && c.TTL == ttl && c.Prefetch == prefetch {
+			return c
+		}
+	}
+	return nil
+}
+
+// The sweep grid. Sizes are chosen against the workload's ~1200-name
+// working set (roughly 190 KB of A records at pressureNames): 32 KB holds
+// ~15 % of it, 96 KB ~45 %, so eviction is the binding constraint
+// everywhere while TTL expiry still matters at the short end.
+var (
+	pressureTTLs     = []uint32{30, 60, 300}
+	pressureSizes    = []int64{32 << 10, 96 << 10}
+	pressurePolicies = []cache.EvictionPolicy{cache.EvictFIFO, cache.EvictLRU, cache.EvictSLRU}
+)
+
+const (
+	pressureNames = 1200
+	pressureQPS   = 24.0
+	// pressurePrefetchTTL is the TTL at which the refresh-ahead rows run —
+	// short enough that expiry misses dominate without prefetch.
+	pressurePrefetchTTL uint32 = 60
+)
+
+// pressureSpec is one grid point's configuration.
+type pressureSpec struct {
+	policy   cache.EvictionPolicy
+	maxBytes int64
+	ttl      uint32
+	prefetch bool
+}
+
+func pressureSpecs() []pressureSpec {
+	var specs []pressureSpec
+	for _, size := range pressureSizes {
+		for _, ttl := range pressureTTLs {
+			for _, p := range pressurePolicies {
+				specs = append(specs, pressureSpec{policy: p, maxBytes: size, ttl: ttl})
+			}
+		}
+	}
+	// Refresh-ahead rows: LRU at the short-TTL cell, where expiry misses
+	// are the dominant loss and prefetch has the most to recover.
+	for _, size := range pressureSizes {
+		specs = append(specs, pressureSpec{
+			policy: cache.EvictLRU, maxBytes: size, ttl: pressurePrefetchTTL, prefetch: true,
+		})
+	}
+	return specs
+}
+
+// pressureCell replays the workload against one grid point. Every cell uses
+// the same workload seed, so all cells face the identical query stream and
+// differ only in cache configuration.
+func pressureCell(spec pressureSpec, queries int, seed int64) PressureCell {
+	clock := simnet.NewVirtualClock()
+	net := simnet.NewNetwork(seed)
+
+	rootAddr := netip.MustParseAddr("192.88.31.1")
+	orgAddr := netip.MustParseAddr("192.88.31.2")
+	root := zone.New(dnswire.Root)
+	root.MustAdd(
+		dnswire.NewSOA(".", 86400, "a.root-servers.net.", "x.example.", 1, 1, 1, 1, 86400),
+		dnswire.NewNS(".", 518400, "a.root-servers.net"),
+		dnswire.NewA("a.root-servers.net", 518400, rootAddr.String()),
+		dnswire.NewNS("example.org", 172800, "ns1.example.org"),
+		dnswire.NewA("ns1.example.org", 172800, orgAddr.String()),
+	)
+	org := zone.New(dnswire.NewName("example.org"))
+	org.MustAdd(
+		dnswire.NewSOA("example.org", 3600, "ns1.example.org", "x.example.org", 1, 1, 1, 1, 60),
+		dnswire.NewNS("example.org", 86400, "ns1.example.org"),
+		dnswire.NewA("ns1.example.org", 86400, orgAddr.String()),
+	)
+	gen := workload.New(dnswire.NewName("example.org"), pressureNames, 1.0, pressureQPS, seed)
+	for j, n := range gen.Names {
+		org.MustAdd(dnswire.RR{Name: n, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+			TTL: spec.ttl, Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{198, 19, byte(j >> 8), byte(j)})}})
+	}
+	rootSrv := authoritative.NewServer(dnswire.NewName("a.root-servers.net"), clock)
+	rootSrv.AddZone(root)
+	net.Attach(rootAddr, rootSrv)
+	orgSrv := authoritative.NewServer(dnswire.NewName("ns1.example.org"), clock)
+	orgSrv.AddZone(org)
+	net.Attach(orgAddr, orgSrv)
+
+	pol := resolver.DefaultPolicy()
+	if spec.prefetch {
+		pol.Prefetch = true
+		pol.PrefetchFraction = 0.5
+	}
+	res := resolver.New(netip.MustParseAddr("10.31.0.1"), pol,
+		net, clock, []netip.Addr{rootAddr}, seed)
+	ccfg := pol.CacheConfig()
+	ccfg.MaxBytes = spec.maxBytes
+	// An entry costs at least ~130 bytes here, so bytes bind well before
+	// this count bound; it only sizes the SLRU segments and sketch.
+	ccfg.Capacity = int(spec.maxBytes / 100)
+	ccfg.Eviction = spec.policy
+	res.Cache = cache.New(clock, ccfg)
+
+	hits, answered := 0, 0
+	for q := 0; q < queries; q++ {
+		gap, name := gen.Next()
+		clock.Advance(gap)
+		out, err := res.Resolve(name, dnswire.TypeA)
+		if err != nil || out.Msg.Header.RCode != dnswire.RCodeNoError {
+			continue
+		}
+		answered++
+		if out.CacheHit {
+			hits++
+		}
+	}
+
+	st := res.Cache.Stats()
+	cell := PressureCell{
+		Policy:           spec.policy.String(),
+		MaxKB:            int(spec.maxBytes >> 10),
+		TTL:              int(spec.ttl),
+		Prefetch:         spec.prefetch,
+		Answered:         answered,
+		Hits:             hits,
+		Evictions:        int(st.Evictions),
+		AdmissionRejects: int(st.AdmissionRejects),
+		Prefetches:       int(st.Prefetches),
+		AuthQueries:      int(rootSrv.QueryCount() + orgSrv.QueryCount()),
+		FinalEntries:     st.Entries,
+		FinalBytes:       int(st.Bytes),
+	}
+	if answered > 0 {
+		cell.HitPerMille = hits * 1000 / answered
+	}
+	return cell
+}
+
+// PressureRun sweeps the full grid, fanning cells across workers. The
+// report is identical at any worker count: each cell builds its own world
+// and no state crosses cells.
+func PressureRun(queries, workers int, seed int64) *PressureReport {
+	if queries <= 0 {
+		queries = 4000
+	}
+	specs := pressureSpecs()
+	cells := Sweep(len(specs), workers, func(i int) PressureCell {
+		return pressureCell(specs[i], queries, seed)
+	})
+	return &PressureReport{
+		Seed: int(seed), Queries: queries, Names: pressureNames, Cells: cells,
+	}
+}
+
+// CachePressure wraps the sweep into the standard Report shape for the
+// experiment runner ("cache-pressure").
+func CachePressure(queries, workers int, seed int64) *Report {
+	rep := PressureRun(queries, workers, seed)
+
+	tbl := &stats.Table{
+		Title: fmt.Sprintf("Hit rate under memory pressure (Zipf s=1, %d names, %.0f q/s, %s queries per cell)",
+			rep.Names, pressureQPS, stats.FormatCount(rep.Queries)),
+		Header: []string{"policy", "bound (KB)", "TTL (s)", "prefetch", "hit rate",
+			"evictions", "adm. rejects", "prefetches", "auth queries", "final KB"},
+	}
+	m := map[string]float64{}
+	for _, c := range rep.Cells {
+		pf := ""
+		key := fmt.Sprintf("hit_%s_%dkb_ttl%d", c.Policy, c.MaxKB, c.TTL)
+		if c.Prefetch {
+			pf = "yes"
+			key = fmt.Sprintf("hit_%s_pf_%dkb_ttl%d", c.Policy, c.MaxKB, c.TTL)
+		}
+		tbl.AddRow(c.Policy, fmt.Sprintf("%d", c.MaxKB), fmt.Sprintf("%d", c.TTL), pf,
+			fmt.Sprintf("%.3f", float64(c.HitPerMille)/1000),
+			stats.FormatCount(c.Evictions), stats.FormatCount(c.AdmissionRejects),
+			stats.FormatCount(c.Prefetches), stats.FormatCount(c.AuthQueries),
+			fmt.Sprintf("%d", c.FinalBytes>>10))
+		m[key] = float64(c.HitPerMille) / 1000
+		m[key+"_auth_queries"] = float64(c.AuthQueries)
+	}
+
+	// Headline deltas: the worst-case LRU-over-FIFO margin across the grid,
+	// and the refresh-ahead lift at the short-TTL cells.
+	minLRUGain := 1.0
+	for _, size := range pressureSizes {
+		for _, ttl := range pressureTTLs {
+			kb, t := int(size>>10), int(ttl)
+			fifo := rep.Cell("fifo", kb, t, false)
+			lru := rep.Cell("lru", kb, t, false)
+			if fifo != nil && lru != nil {
+				if gain := float64(lru.HitPerMille-fifo.HitPerMille) / 1000; gain < minLRUGain {
+					minLRUGain = gain
+				}
+			}
+		}
+		kb := int(size >> 10)
+		plain := rep.Cell("lru", kb, int(pressurePrefetchTTL), false)
+		pf := rep.Cell("lru", kb, int(pressurePrefetchTTL), true)
+		if plain != nil && pf != nil {
+			m[fmt.Sprintf("prefetch_lift_%dkb_ttl%d", kb, pressurePrefetchTTL)] =
+				float64(pf.HitPerMille-plain.HitPerMille) / 1000
+		}
+	}
+	m["lru_over_fifo_min_gain"] = minLRUGain
+
+	return &Report{
+		ID:      "Cache pressure",
+		Title:   "Under a byte bound, eviction policy sets the hit rate; LRU beats FIFO everywhere and refresh-ahead recovers short-TTL misses",
+		Text:    tbl.String(),
+		Metrics: m,
+	}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const (
+	pressureTestQueries = 4000
+	pressureTestSeed    = 42
+)
+
+func pressureGoldenPath() string {
+	return filepath.Join("testdata", "pressure_golden.json")
+}
+
+// TestPressureGolden replays the cache-pressure grid and compares the full
+// per-cell outcome — hits, evictions, admission rejects, prefetches,
+// authoritative queries, resident bytes — byte for byte against the golden.
+// Any drift in byte accounting, eviction order, admission, or refresh-ahead
+// semantics fails here first. Regenerate with -update.
+func TestPressureGolden(t *testing.T) {
+	got := PressureRun(pressureTestQueries, 0, pressureTestSeed).JSON()
+	if *update {
+		if err := os.WriteFile(pressureGoldenPath(), got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", pressureGoldenPath(), len(got))
+		return
+	}
+	want, err := os.ReadFile(pressureGoldenPath())
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("pressure sweep drifted from golden %s.\nRegenerate with -update if the change is intentional.\ngot:\n%s", pressureGoldenPath(), got)
+	}
+}
+
+// TestPressureDeterministic proves the sweep is identical at any worker
+// count: each cell owns its world, so fan-out order cannot leak into
+// results.
+func TestPressureDeterministic(t *testing.T) {
+	serial := PressureRun(1000, 1, pressureTestSeed).JSON()
+	fanned := PressureRun(1000, 8, pressureTestSeed).JSON()
+	if !bytes.Equal(serial, fanned) {
+		t.Error("pressure sweep differs between 1 and 8 workers")
+	}
+}
+
+// TestPressureOutcomes pins the semantic shape the golden bytes must tell:
+// recency-aware eviction beats FIFO at every grid cell, refresh-ahead lifts
+// the short-TTL hit rate (paying in authoritative queries), and the byte
+// bound holds everywhere.
+func TestPressureOutcomes(t *testing.T) {
+	rep := PressureRun(pressureTestQueries, 0, pressureTestSeed)
+	for _, c := range rep.Cells {
+		t.Logf("%-5s %3dKB ttl=%3d pf=%-5v hit‰=%3d evict=%5d adrej=%5d pf=%4d authq=%5d bytes=%6d entries=%4d",
+			c.Policy, c.MaxKB, c.TTL, c.Prefetch, c.HitPerMille, c.Evictions,
+			c.AdmissionRejects, c.Prefetches, c.AuthQueries, c.FinalBytes, c.FinalEntries)
+	}
+
+	admissionFired := false
+	for _, size := range pressureSizes {
+		kb := int(size >> 10)
+		for _, ttl := range pressureTTLs {
+			fifo := rep.Cell("fifo", kb, int(ttl), false)
+			lru := rep.Cell("lru", kb, int(ttl), false)
+			slru := rep.Cell("slru", kb, int(ttl), false)
+			if fifo == nil || lru == nil || slru == nil {
+				t.Fatalf("missing cells at %dKB ttl=%d", kb, ttl)
+			}
+			if lru.HitPerMille < fifo.HitPerMille {
+				t.Errorf("%dKB ttl=%d: LRU hit rate %d‰ below FIFO %d‰",
+					kb, ttl, lru.HitPerMille, fifo.HitPerMille)
+			}
+			if slru.AdmissionRejects > 0 {
+				admissionFired = true
+			}
+		}
+
+		// SLRU/TinyLFU is built for the retention-dominated regime: at the
+		// long-TTL cells it must beat both FIFO and plain LRU. (Under heavy
+		// expiry churn its admission filter costs misses instead — a real
+		// TinyLFU property the golden records rather than hides.)
+		slru := rep.Cell("slru", kb, 300, false)
+		fifo := rep.Cell("fifo", kb, 300, false)
+		lru := rep.Cell("lru", kb, 300, false)
+		if slru.HitPerMille < fifo.HitPerMille || slru.HitPerMille < lru.HitPerMille {
+			t.Errorf("%dKB ttl=300: SLRU %d‰ should lead FIFO %d‰ and LRU %d‰",
+				kb, slru.HitPerMille, fifo.HitPerMille, lru.HitPerMille)
+		}
+
+		// Refresh-ahead at the short-TTL cell: more hits, more upstream
+		// queries — the explicit trade.
+		plain := rep.Cell("lru", kb, int(pressurePrefetchTTL), false)
+		pf := rep.Cell("lru", kb, int(pressurePrefetchTTL), true)
+		if plain == nil || pf == nil {
+			t.Fatalf("missing prefetch cells at %dKB", kb)
+		}
+		if pf.HitPerMille <= plain.HitPerMille {
+			t.Errorf("%dKB: prefetch did not lift hit rate: %d‰ vs %d‰",
+				kb, pf.HitPerMille, plain.HitPerMille)
+		}
+		if pf.Prefetches == 0 {
+			t.Errorf("%dKB: prefetch row issued no prefetches", kb)
+		}
+		if pf.AuthQueries <= plain.AuthQueries {
+			t.Errorf("%dKB: prefetch should cost authoritative queries: %d vs %d",
+				kb, pf.AuthQueries, plain.AuthQueries)
+		}
+	}
+
+	if !admissionFired {
+		t.Error("SLRU admission filter never fired anywhere in the grid")
+	}
+
+	// The byte bound is never exceeded, and every pressured cell evicted.
+	for _, c := range rep.Cells {
+		if c.FinalBytes > c.MaxKB<<10 {
+			t.Errorf("%s %dKB ttl=%d: resident bytes %d exceed bound %d",
+				c.Policy, c.MaxKB, c.TTL, c.FinalBytes, c.MaxKB<<10)
+		}
+		if c.Evictions == 0 && c.Policy != "slru" {
+			t.Errorf("%s %dKB ttl=%d: no evictions — grid not under pressure",
+				c.Policy, c.MaxKB, c.TTL)
+		}
+	}
+}

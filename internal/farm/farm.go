@@ -83,6 +83,13 @@ type Config struct {
 	// CacheCapacity bounds each cache (per frontend for Private, per shard
 	// for Sharded, total for Shared); 0 keeps the cache default.
 	CacheCapacity int
+	// CacheBytes bounds each cache's memory charge, with the same
+	// per-frontend/per-shard/total semantics as CacheCapacity; 0 means
+	// unbounded.
+	CacheBytes int64
+	// Eviction selects the eviction policy of every cache in the fleet;
+	// the zero value is the legacy FIFO.
+	Eviction cache.EvictionPolicy
 	// LocalRoot is the RFC 7706 root mirror handed to every frontend when
 	// the policy enables LocalRoot.
 	LocalRoot *zone.Zone
@@ -140,17 +147,11 @@ func New(cfg Config, addr netip.Addr, net simnet.Exchanger, clock simnet.Clock, 
 	}
 
 	// One storage config for every topology, derived the same way
-	// resolver.New derives it from the policy.
-	storageCap := cfg.Policy.TTLCap
-	if cfg.Policy.CapAtServe {
-		storageCap = 0
-	}
-	ccfg := cache.Config{
-		MaxTTL:     storageCap,
-		MinTTL:     cfg.Policy.TTLFloor,
-		ServeStale: cfg.Policy.ServeStale,
-		Capacity:   cfg.CacheCapacity,
-	}
+	// resolver.New derives it from the policy, plus the fleet's bounds.
+	ccfg := cfg.Policy.CacheConfig()
+	ccfg.Capacity = cfg.CacheCapacity
+	ccfg.MaxBytes = cfg.CacheBytes
+	ccfg.Eviction = cfg.Eviction
 	switch cfg.Topology {
 	case Shared:
 		f.store = cache.New(clock, ccfg)
@@ -172,7 +173,7 @@ func New(cfg Config, addr netip.Addr, net simnet.Exchanger, clock simnet.Clock, 
 		r.Tracer = cfg.Tracer
 		if f.store != nil {
 			r.Cache = f.store
-		} else if cfg.CacheCapacity > 0 {
+		} else if cfg.CacheCapacity > 0 || cfg.CacheBytes > 0 || cfg.Eviction != cache.EvictFIFO {
 			r.Cache = cache.New(clock, ccfg)
 		}
 		f.frontends[i] = r
@@ -239,6 +240,9 @@ func (f *Farm) CacheStats() cache.Stats {
 		out.Evictions += st.Evictions
 		out.StaleHits += st.StaleHits
 		out.Entries += st.Entries
+		out.Bytes += st.Bytes
+		out.Prefetches += st.Prefetches
+		out.AdmissionRejects += st.AdmissionRejects
 	}
 	return out
 }

@@ -32,6 +32,13 @@ type Metrics struct {
 	Retries   *obs.Counter
 	Hedges    *obs.Counter
 	HedgeWins *obs.Counter
+	// Prefetches counts refresh-ahead re-resolutions issued;
+	// PrefetchCoalesced counts triggers absorbed by an identical prefetch
+	// already in flight; PrefetchDenied counts triggers dropped by the
+	// Policy.PrefetchBudget window.
+	Prefetches        *obs.Counter
+	PrefetchCoalesced *obs.Counter
+	PrefetchDenied    *obs.Counter
 	// Latency is the per-resolution client latency in milliseconds.
 	Latency *obs.Histogram
 	// UpstreamRTT is the per-exchange round-trip time in milliseconds.
@@ -63,6 +70,10 @@ const (
 	MetricHedgeWins   = "resolver.hedge_wins"
 	MetricSRTT        = "resolver.srtt_ms"
 	MetricBackoff     = "resolver.backoff_ms"
+
+	MetricPrefetches        = "resolver.prefetches"
+	MetricPrefetchCoalesced = "resolver.prefetch_coalesced"
+	MetricPrefetchDenied    = "resolver.prefetch_budget_denied"
 )
 
 // NewMetrics resolves the standard handle set from reg. A nil registry
@@ -84,6 +95,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		HedgeWins:   reg.Counter(MetricHedgeWins),
 		SRTT:        reg.Histogram(MetricSRTT),
 		Backoff:     reg.Histogram(MetricBackoff),
+
+		Prefetches:        reg.Counter(MetricPrefetches),
+		PrefetchCoalesced: reg.Counter(MetricPrefetchCoalesced),
+		PrefetchDenied:    reg.Counter(MetricPrefetchDenied),
 	}
 }
 

@@ -7,7 +7,11 @@
 // serve-stale.
 package resolver
 
-import "time"
+import (
+	"time"
+
+	"dnsttl/internal/cache"
+)
 
 // Centricity says which zone's TTL a resolver effectively honors for
 // records that are duplicated at a delegation (NS sets and glue addresses).
@@ -83,7 +87,20 @@ type Policy struct {
 	Prefetch bool
 	// PrefetchThreshold is the remaining TTL, in seconds, below which a
 	// cache hit triggers a refresh. Zero with Prefetch set means 10 s.
+	// Ignored when PrefetchFraction is set.
 	PrefetchThreshold uint32
+	// PrefetchFraction, when non-zero, scales the refresh trigger to the
+	// record's own TTL: a hit refreshes when the remaining TTL falls to
+	// this fraction of the stored TTL (0.1 = last 10 % of lifetime). A
+	// fractional trigger treats a 30 s and a 1-day record alike, where the
+	// fixed PrefetchThreshold window would refresh short records on nearly
+	// every hit.
+	PrefetchFraction float64
+	// PrefetchBudget bounds refresh-ahead load: at most this many
+	// prefetches are issued per 60 s window of the resolver's clock
+	// (coalesced and denied triggers are observable via Metrics). Zero
+	// means unlimited.
+	PrefetchBudget int
 	// NegTTLFallback is the negative-cache TTL used when a negative
 	// response carries no SOA to derive one from (RFC 2308 §5 leaves this
 	// implementation-defined). Zero means 60 s. Like every other TTL it is
@@ -108,11 +125,41 @@ func (p Policy) prefetchThreshold() uint32 {
 	return p.PrefetchThreshold
 }
 
+// prefetchTriggered reports whether a cache hit with rem seconds left on a
+// record stored with ttl seconds should trigger a refresh-ahead.
+func (p Policy) prefetchTriggered(rem, ttl uint32) bool {
+	if !p.Prefetch {
+		return false
+	}
+	if p.PrefetchFraction > 0 {
+		return float64(rem) <= p.PrefetchFraction*float64(ttl)
+	}
+	return rem <= p.prefetchThreshold()
+}
+
 func (p Policy) negTTLFallback() uint32 {
 	if p.NegTTLFallback == 0 {
 		return 60
 	}
 	return p.NegTTLFallback
+}
+
+// CacheConfig derives the cache configuration this policy implies: the TTL
+// cap lands in storage (BIND-style) or stays out of it (CapAtServe), the
+// floor and serve-stale flags carry over. Callers add capacity/byte bounds
+// and an eviction policy on top. resolver.New, farm.New, and the library
+// Client all derive their caches through here so the TTL semantics cannot
+// drift apart.
+func (p Policy) CacheConfig() cache.Config {
+	storageCap := p.TTLCap
+	if p.CapAtServe {
+		storageCap = 0 // full TTL in cache; clamp on the way out
+	}
+	return cache.Config{
+		MaxTTL:     storageCap,
+		MinTTL:     p.TTLFloor,
+		ServeStale: p.ServeStale,
+	}
 }
 
 // clampTTL applies the policy's cap and floor to a TTL.

@@ -92,6 +92,14 @@ type Resolver struct {
 	sticky map[dnswire.Name]netip.Addr
 	nextID uint16
 
+	// Refresh-ahead state (prefetch.go): singleflight dedup of in-flight
+	// prefetches and the budget window. Its own lock, since the prefetch
+	// iteration itself takes r.mu for transaction IDs.
+	prefetchMu       sync.Mutex
+	prefetchInflight map[cache.Key]struct{}
+	prefetchWindow   time.Time
+	prefetchSpent    int
+
 	// srtt is the per-server smoothed-RTT table behind
 	// Policy.Retry.OrderBySRTT. It has its own lock; nil (for resolvers
 	// built as struct literals) disables SRTT tracking.
@@ -104,15 +112,7 @@ func New(addr netip.Addr, pol Policy, net simnet.Exchanger, clock simnet.Clock, 
 	if clock == nil {
 		clock = simnet.WallClock{}
 	}
-	storageCap := pol.TTLCap
-	if pol.CapAtServe {
-		storageCap = 0 // full TTL in cache; clamp on the way out
-	}
-	c := cache.New(clock, cache.Config{
-		MaxTTL:     storageCap,
-		MinTTL:     pol.TTLFloor,
-		ServeStale: pol.ServeStale,
-	})
+	c := cache.New(clock, pol.CacheConfig())
 	return &Resolver{
 		Addr:      addr,
 		Policy:    pol,
@@ -188,9 +188,8 @@ func (r *Resolver) resolveInto(name dnswire.Name, qtype dnswire.Type, res *Resul
 			csp.Finish()
 		}
 		r.applyCached(e, rem, name, qtype, res, depth)
-		if r.Policy.Prefetch && rem <= r.Policy.prefetchThreshold() && e.Negative == cache.NotNegative {
-			res.Span.Annotate("prefetch", "triggered")
-			r.prefetch(name, qtype)
+		if e.Negative == cache.NotNegative && r.Policy.prefetchTriggered(rem, e.TTL) {
+			r.maybePrefetch(name, qtype, res)
 		}
 		return nil
 	}
@@ -260,15 +259,6 @@ func (r *Resolver) answerFromCache(name dnswire.Name, qtype dnswire.Type) (*cach
 		}
 	}
 	return nil, 0, false
-}
-
-// prefetch refreshes (name, qtype) without charging the client. Upstream
-// query counts still accrue at the authoritatives, which is the point of
-// the ablation: prefetch trades queries for latency.
-func (r *Resolver) prefetch(name dnswire.Name, qtype dnswire.Type) {
-	scratch := &Result{Msg: &dnswire.Message{}}
-	r.Cache.Remove(name, qtype)
-	_ = r.iterate(name, qtype, scratch, 0)
 }
 
 // iterate walks the delegation tree toward (name, qtype).

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# docs_check.sh — keep the docs honest.
+#
+# Two invariants, checked mechanically so flag or metric additions cannot
+# silently outrun the documentation:
+#
+#  1. Every flag defined in cmd/*/main.go appears (as -flagname) somewhere
+#     in docs/.
+#  2. Every metric name the code can register — the resolver/authoritative
+#     Metric* constants, the cache.Instrument gauge suffixes, and the
+#     farm.fe<i>.* counters — appears in docs/.
+#
+# Exits non-zero listing every undocumented name.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs=$(cat docs/*.md)
+fail=0
+
+# --- 1. CLI flags ----------------------------------------------------------
+# Matches flag.String("name", ...), flag.Bool(...), flag.Int64(...), etc.,
+# plus flag.Var(&v, "name", ...).
+flags=$(grep -hoE 'flag\.[A-Za-z0-9]+\(&?[A-Za-z0-9_]*,? ?"[a-z][a-z0-9-]*"' cmd/*/main.go |
+    grep -oE '"[a-z][a-z0-9-]*"' | tr -d '"' | sort -u)
+for f in $flags; do
+    if ! grep -qF -- "-$f" <<<"$docs"; then
+        echo "docs_check: flag -$f (cmd/*/main.go) is not documented in docs/" >&2
+        fail=1
+    fi
+done
+
+# --- 2. Metric names -------------------------------------------------------
+# (a) Named constants: Metric<X> = "some.name" in internal/.
+metrics=$(grep -rhoE 'Metric[A-Za-z0-9]+ += +"[a-z_.]+"' internal/ --include='*.go' |
+    grep -oE '"[a-z_.]+"' | tr -d '"' | sort -u)
+# (b) cache.Instrument gauges: prefix+".suffix" — documented under "cache.".
+metrics+=" $(grep -hoE 'prefix\+"\.[a-z_]+"' internal/cache/cache.go |
+    sed 's/prefix+"\./cache./; s/"//g' | sort -u)"
+# (c) farm per-frontend counters: farm.fe<i>.<name>.
+metrics+=" $(grep -hoE 'counter\(i, "[a-z_]+"\)' internal/farm/telemetry.go |
+    grep -oE '"[a-z_]+"' | tr -d '"' | sed 's/^/farm.fe<i>./' | sort -u)"
+
+for m in $metrics; do
+    if ! grep -qF -- "$m" <<<"$docs"; then
+        echo "docs_check: metric $m is not documented in docs/" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "docs_check: FAILED — update docs/operations.md / docs/architecture.md" >&2
+    exit 1
+fi
+echo "docs_check: OK ($(wc -w <<<"$flags") flags, $(wc -w <<<"$metrics") metrics all documented)"
