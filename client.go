@@ -1,6 +1,8 @@
 package dnsttl
 
 import (
+	"crypto/tls"
+	"crypto/x509"
 	"fmt"
 	"net/netip"
 	"strings"
@@ -12,6 +14,7 @@ import (
 	"dnsttl/internal/obs"
 	"dnsttl/internal/resolver"
 	"dnsttl/internal/simnet"
+	"dnsttl/internal/transport"
 	"dnsttl/internal/zone"
 )
 
@@ -279,11 +282,13 @@ func NewForwarder(addr netip.Addr, upstreams []netip.Addr, net Exchanger, clock 
 }
 
 // Server is an authoritative DNS server for a set of zones, servable over
-// real UDP and TCP or pluggable into a simulation.
+// real UDP, TCP, DoT, and DoH, or pluggable into a simulation.
 type Server struct {
-	s *authoritative.Server
-	u *authoritative.UDPServer
-	t *authoritative.TCPServer
+	s   *authoritative.Server
+	u   *authoritative.UDPServer
+	t   *authoritative.TCPServer
+	dot *authoritative.TCPServer
+	doh *authoritative.DoHServer
 }
 
 // NewServer creates a server named after its primary nameserver host.
@@ -318,6 +323,27 @@ func (s *Server) ListenTCP(addr string) (netip.AddrPort, error) {
 	return s.t.Listen(addr)
 }
 
+// ListenDoT binds addr for DNS-over-TLS service (RFC 7858) with the given
+// TLS config, serving until Close.
+func (s *Server) ListenDoT(addr string, cfg *tls.Config) (netip.AddrPort, error) {
+	s.dot = &authoritative.TCPServer{Server: s.s, TLS: cfg}
+	return s.dot.Listen(addr)
+}
+
+// ListenDoH binds addr for DNS-over-HTTPS service (RFC 8484) with the
+// given TLS config, serving until Close.
+func (s *Server) ListenDoH(addr string, cfg *tls.Config) (netip.AddrPort, error) {
+	s.doh = &authoritative.DoHServer{Server: s.s, TLS: cfg}
+	return s.doh.Listen(addr)
+}
+
+// SelfSignedTLS mints an ephemeral server certificate for the given hosts
+// plus a client CertPool trusting it — the batteries for DoT/DoH test and
+// demo setups without a real PKI.
+func SelfSignedTLS(hosts ...string) (tls.Certificate, *x509.CertPool, error) {
+	return transport.SelfSigned(hosts...)
+}
+
 // QueryCount reports queries handled.
 func (s *Server) QueryCount() uint64 { return s.s.QueryCount() }
 
@@ -332,8 +358,18 @@ func (s *Server) Close() error {
 		err = s.u.Close()
 	}
 	if s.t != nil {
-		if terr := s.t.Close(); err == nil {
-			err = terr
+		if e := s.t.Close(); err == nil {
+			err = e
+		}
+	}
+	if s.dot != nil {
+		if e := s.dot.Close(); err == nil {
+			err = e
+		}
+	}
+	if s.doh != nil {
+		if e := s.doh.Close(); err == nil {
+			err = e
 		}
 	}
 	return err

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchjson -o BENCH_PR5.json
+//	go run ./cmd/benchjson -o BENCH_PR6.json
 //	go run ./cmd/benchjson -smoke   # CI smoke: skips the multi-second sweeps
 package main
 
@@ -24,8 +24,10 @@ import (
 	"dnsttl/internal/dnswire"
 	"dnsttl/internal/experiments"
 	"dnsttl/internal/farm"
+	"dnsttl/internal/loadgen"
 	"dnsttl/internal/resolver"
 	"dnsttl/internal/simnet"
+	"dnsttl/internal/transport"
 	"dnsttl/internal/zone"
 )
 
@@ -48,6 +50,12 @@ type sweepResult struct {
 	Note            string  `json:"note"`
 }
 
+// loadReport is one dnsload-style burst over a real loopback socket.
+type loadReport struct {
+	Scenario string `json:"scenario"`
+	*loadgen.Result
+}
+
 type report struct {
 	GeneratedBy string `json:"generated_by"`
 	GoVersion   string `json:"go_version"`
@@ -58,6 +66,7 @@ type report struct {
 	// allocation-reduction acceptance criteria compare against.
 	BaselineMain map[string]float64 `json:"baseline_main"`
 	Benchmarks   []benchResult      `json:"benchmarks"`
+	Loadgen      []loadReport       `json:"loadgen,omitempty"`
 	Sweeps       []sweepResult      `json:"sweeps,omitempty"`
 }
 
@@ -447,13 +456,90 @@ func pressureSweepBench(queries int) sweepResult {
 	}
 }
 
+// loadgenBenches drives the ZDNS-style engine over real loopback sockets:
+// raw authoritative serving over UDP and pipelined TCP, and a recursive
+// front-end (cache-hot) over UDP — the loopback-QPS numbers the transport
+// plane is judged by.
+func loadgenBenches(smoke bool) []loadReport {
+	udpCount, tcpCount := 100000, 30000
+	if smoke {
+		udpCount, tcpCount = 2000, 2000
+	}
+	wl, err := loadgen.ParseWorkload("www.example.org:A")
+	if err != nil {
+		fatal(err)
+	}
+
+	burst := func(scenario string, kind transport.Kind, target netip.AddrPort, count int) loadReport {
+		tr, err := transport.New(transport.Config{Kind: kind, Timeout: 3 * time.Second})
+		if err != nil {
+			fatal(err)
+		}
+		defer tr.Close()
+		res, err := loadgen.Run(loadgen.Config{
+			Target:        target,
+			Transport:     tr,
+			TransportName: kind.String(),
+			Workload:      wl,
+			Workers:       16,
+			Count:         count,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return loadReport{Scenario: scenario, Result: res}
+	}
+
+	// Raw authoritative serving plane.
+	org := zone.New(dnswire.NewName("example.org"))
+	org.MustAdd(
+		dnswire.NewSOA("example.org", 3600, "ns1.example.org", "x.example.org", 1, 1, 1, 1, 60),
+		dnswire.NewNS("example.org", 86400, "ns1.example.org"),
+		dnswire.NewA("ns1.example.org", 86400, "192.0.2.1"),
+		dnswire.NewA("www.example.org", 86400, "192.0.2.80"),
+	)
+	auth := authoritative.NewServer(dnswire.NewName("ns1.example.org"), simnet.NewVirtualClock())
+	auth.AddZone(org)
+	us := &authoritative.UDPServer{Server: auth}
+	udpAddr, err := us.Listen("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer us.Close()
+	ts := &authoritative.TCPServer{Server: auth}
+	tcpAddr, err := ts.Listen("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer ts.Close()
+
+	// A recursive front-end over its own loopback socket, iterating into the
+	// simulated delegation world; after the first query every answer is a
+	// cache hit — the resolverd steady state.
+	w := newResolveWorld(1)
+	r := resolver.New(netip.MustParseAddr("10.50.0.1"), resolver.DefaultPolicy(),
+		w.net, w.clock, []netip.Addr{w.rootAddr}, 1)
+	rs := &authoritative.UDPServer{Handler: resolver.Handler{R: r}}
+	rsAddr, err := rs.Listen("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	defer rs.Close()
+
+	return []loadReport{
+		burst("authoritative/udp", transport.UDP, udpAddr, udpCount),
+		burst("authoritative/tcp-pipelined", transport.TCP, tcpAddr, tcpCount),
+		burst("resolver-frontend/udp", transport.UDP, rsAddr, udpCount),
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR5.json", "output file ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR6.json", "output file ('-' for stdout)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: skip the multi-second sweep timings")
 	probes := flag.Int("probes", 120, "probe count per sweep cell")
 	flag.Parse()
@@ -482,6 +568,7 @@ func main() {
 	rep.Benchmarks = append(rep.Benchmarks, codecBenches()...)
 	rep.Benchmarks = append(rep.Benchmarks, cacheBenches()...)
 	rep.Benchmarks = append(rep.Benchmarks, resolveBenches()...)
+	rep.Loadgen = loadgenBenches(*smoke)
 	if !*smoke {
 		rep.Sweeps = append(rep.Sweeps, sweepBench(*probes))
 		rep.Sweeps = append(rep.Sweeps, pressureSweepBench(2000))

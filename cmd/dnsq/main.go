@@ -1,9 +1,10 @@
 // Command dnsq is a dig-like query tool over the library's wire codec and
-// UDP exchanger.
+// real-socket transports (UDP, TCP, DoT, DoH).
 //
 // Usage:
 //
 //	dnsq -server 127.0.0.1 -port 5353 www.example.org A
+//	dnsq -transport dot -insecure -server 127.0.0.1 -port 8853 www.example.org A
 //	dnsq -trace -server 127.0.0.1 -port 5353 www.example.org A
 //
 // With -trace, dnsq iterates from the server itself (dig +trace style,
@@ -20,19 +21,20 @@ import (
 	"time"
 
 	"dnsttl"
-	"dnsttl/internal/authoritative"
 	"dnsttl/internal/dnswire"
 )
 
 func main() {
 	var (
-		server  = flag.String("server", "127.0.0.1", "server address")
-		port    = flag.Uint("port", 53, "server port")
-		timeout = flag.Duration("timeout", 3*time.Second, "query timeout")
-		rd      = flag.Bool("rd", true, "set the recursion-desired flag")
-		trace   = flag.Bool("trace", false, "iterate from -server like dig +trace and print the span tree")
-		retries = flag.Int("retries", 0, "with -trace: upstream attempts per step (0 = single-shot)")
-		hedge   = flag.Duration("hedge", 0, "with -trace: hedge delay for a second query to the next-best server (0 = off)")
+		server   = flag.String("server", "127.0.0.1", "server address")
+		port     = flag.Uint("port", 0, "server port (0 = transport default: 53/53/853/443)")
+		timeout  = flag.Duration("timeout", 3*time.Second, "query timeout")
+		rd       = flag.Bool("rd", true, "set the recursion-desired flag")
+		trans    = flag.String("transport", "udp", "transport: udp, tcp, dot, or doh")
+		insecure = flag.Bool("insecure", false, "skip TLS verification for dot/doh (self-signed test certs)")
+		trace    = flag.Bool("trace", false, "iterate from -server like dig +trace and print the span tree")
+		retries  = flag.Int("retries", 0, "with -trace: upstream attempts per step (0 = single-shot)")
+		hedge    = flag.Duration("hedge", 0, "with -trace: hedge delay for a second query to the next-best server (0 = off)")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -55,13 +57,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dnsq:", err)
 		os.Exit(2)
 	}
+	kind, err := dnsttl.ParseTransportKind(*trans)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq:", err)
+		os.Exit(2)
+	}
+	dstPort := uint16(*port)
+	if dstPort == 0 {
+		dstPort = kind.DefaultPort()
+	}
 	if *trace {
 		rp := dnsttl.RetryPolicy{Attempts: *retries, Hedge: *hedge}
 		if *retries > 0 {
 			rp.Backoff = 250 * time.Millisecond
 			rp.Jitter = 0.5
 		}
-		runTrace(addr, uint16(*port), *timeout, name, qtype, rp)
+		runTrace(addr, dstPort, kind, *insecure, *timeout, name, qtype, rp)
 		return
 	}
 
@@ -72,7 +83,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dnsq:", err)
 		os.Exit(1)
 	}
-	respWire, rtt, err := authoritative.UDPExchange(netip.AddrPortFrom(addr, uint16(*port)), wire, *timeout)
+	tnet, err := dnsttl.NewTransportNet(kind, dnsttl.TransportOptions{
+		Port: dstPort, Timeout: *timeout, Insecure: *insecure,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq:", err)
+		os.Exit(1)
+	}
+	defer tnet.Close()
+	respWire, rtt, err := tnet.Exchange(netip.Addr{}, addr, wire)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dnsq:", err)
 		os.Exit(1)
@@ -83,7 +102,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(resp)
-	fmt.Printf(";; Query time: %v\n;; SERVER: %s#%d\n", rtt.Round(time.Microsecond), *server, *port)
+	fmt.Printf(";; Query time: %v\n;; SERVER: %s#%d (%s)\n", rtt.Round(time.Microsecond), *server, dstPort, kind)
 }
 
 // runTrace resolves the name iteratively on the client side, dig +trace
@@ -91,13 +110,21 @@ func main() {
 // the library records — cache lookup, zone-by-zone iteration, individual
 // upstream exchanges with RTTs and TTL decisions — is printed as a span
 // tree.
-func runTrace(root netip.Addr, port uint16, timeout time.Duration, name dnsttl.Name, qtype dnsttl.Type, rp dnsttl.RetryPolicy) {
+func runTrace(root netip.Addr, port uint16, kind dnsttl.TransportKind, insecure bool, timeout time.Duration, name dnsttl.Name, qtype dnsttl.Type, rp dnsttl.RetryPolicy) {
+	tnet, err := dnsttl.NewTransportNet(kind, dnsttl.TransportOptions{
+		Port: port, Timeout: timeout, Insecure: insecure,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dnsq:", err)
+		os.Exit(1)
+	}
+	defer tnet.Close()
 	pol := dnsttl.DefaultPolicy()
 	pol.Retry = rp
 	client, err := dnsttl.NewClient(dnsttl.ClientConfig{
 		Policy: pol,
 		Roots:  []netip.Addr{root},
-		Net:    dnsttl.UDPNet{Port: port, Timeout: timeout},
+		Net:    tnet,
 		Tracer: dnsttl.NewTracer(nil),
 	})
 	if err != nil {

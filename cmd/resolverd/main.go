@@ -12,6 +12,7 @@
 package main
 
 import (
+	"crypto/tls"
 	"flag"
 	"fmt"
 	"net/netip"
@@ -49,6 +50,14 @@ func main() {
 		eviction      = flag.String("eviction", "fifo", "cache eviction policy: fifo, lru, or slru (TinyLFU admission)")
 		prefetch      = flag.Float64("prefetch", 0, "refresh-ahead: re-resolve popular entries in the last FRACTION of their TTL (0 = off)")
 		prefetchBudg  = flag.Int("prefetch-budget", 0, "max refresh-ahead resolutions per minute (0 = unlimited)")
+		trans         = flag.String("transport", "udp", "upstream transport: udp, tcp, dot, or doh")
+		poolSize      = flag.Int("pool-size", 0, "pooled upstream connections per server (0 = default)")
+		insecure      = flag.Bool("insecure", false, "skip TLS verification for dot/doh upstreams (self-signed certs)")
+		listenTCP     = flag.String("listen-tcp", "", "TCP listen address for clients (empty = off)")
+		listenDoT     = flag.String("listen-dot", "", "DNS-over-TLS listen address for clients (empty = off)")
+		listenDoH     = flag.String("listen-doh", "", "DNS-over-HTTPS listen address for clients (empty = off)")
+		tlsCert       = flag.String("tls-cert", "", "TLS certificate file for -listen-dot/-listen-doh (empty = ephemeral self-signed)")
+		tlsKey        = flag.String("tls-key", "", "TLS key file for -listen-dot/-listen-doh")
 	)
 	flag.Parse()
 	if *roots == "" {
@@ -98,7 +107,6 @@ func main() {
 	cfg := dnsttl.ClientConfig{
 		Policy:        pol,
 		Roots:         rootAddrs,
-		Net:           dnsttl.UDPNet{Port: uint16(*rootPort)},
 		Frontends:     *frontends,
 		Coalesce:      *coalesce,
 		CacheCapacity: *cacheEntries,
@@ -109,6 +117,23 @@ func main() {
 		cfg.Registry = dnsttl.NewRegistry(nil)
 		cfg.Tracer = dnsttl.NewTracer(nil)
 	}
+	kind, err := dnsttl.ParseTransportKind(*trans)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resolverd:", err)
+		os.Exit(2)
+	}
+	upstreamNet, err := dnsttl.NewTransportNet(kind, dnsttl.TransportOptions{
+		Port:     uint16(*rootPort),
+		PoolSize: *poolSize,
+		Insecure: *insecure,
+		Registry: cfg.Registry,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "resolverd:", err)
+		os.Exit(2)
+	}
+	defer upstreamNet.Close()
+	cfg.Net = upstreamNet
 	if *frontends > 1 {
 		topo, err := dnsttl.ParseFarmTopology(*topology)
 		if err != nil {
@@ -144,6 +169,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "resolverd:", err)
 		os.Exit(1)
 	}
+	if *listenTCP != "" {
+		tcpAddr, err := rs.ListenTCP(*listenTCP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resolverd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving clients on tcp://%s\n", tcpAddr)
+	}
+	if *listenDoT != "" || *listenDoH != "" {
+		var cert tls.Certificate
+		if *tlsCert != "" {
+			c, err := tls.LoadX509KeyPair(*tlsCert, *tlsKey)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "resolverd:", err)
+				os.Exit(1)
+			}
+			cert = c
+		} else {
+			c, _, err := dnsttl.SelfSignedTLS("127.0.0.1", "::1", "localhost")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "resolverd:", err)
+				os.Exit(1)
+			}
+			cert = c
+			fmt.Println("dot/doh: using an ephemeral self-signed certificate (clients need -insecure)")
+		}
+		tcfg := &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+		if *listenDoT != "" {
+			dotAddr, err := rs.ListenDoT(*listenDoT, tcfg.Clone())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "resolverd:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("serving clients on dot://%s\n", dotAddr)
+		}
+		if *listenDoH != "" {
+			dohAddr, err := rs.ListenDoH(*listenDoH, tcfg.Clone())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "resolverd:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("serving clients on doh://%s%s\n", dohAddr, "/dns-query")
+		}
+	}
 	if *metrics != "" {
 		bound, closeMetrics, err := dnsttl.ServeMetrics(*metrics, cfg.Registry, cfg.Tracer)
 		if err != nil {
@@ -154,11 +223,11 @@ func main() {
 		fmt.Printf("introspection on http://%s/metrics and /trace\n", bound)
 	}
 	if *frontends > 1 {
-		fmt.Printf("resolver farm on udp://%s (%d frontends, %s cache, %s placement, policy: %s, cap %ds)\n",
-			addr, *frontends, *topology, *placement, pol.Centricity, pol.TTLCap)
+		fmt.Printf("resolver farm on udp://%s (%d frontends, %s cache, %s placement, policy: %s, cap %ds, upstream %s)\n",
+			addr, *frontends, *topology, *placement, pol.Centricity, pol.TTLCap, kind)
 	} else {
-		fmt.Printf("recursive resolver on udp://%s (policy: %s, cap %ds)\n",
-			addr, pol.Centricity, pol.TTLCap)
+		fmt.Printf("recursive resolver on udp://%s (policy: %s, cap %ds, upstream %s)\n",
+			addr, pol.Centricity, pol.TTLCap, kind)
 	}
 
 	sig := make(chan os.Signal, 1)

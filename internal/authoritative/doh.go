@@ -1,0 +1,105 @@
+package authoritative
+
+import (
+	"crypto/tls"
+	"encoding/base64"
+	"io"
+	"net"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"time"
+
+	"dnsttl/internal/simnet"
+)
+
+// DoHPath is the well-known DNS-over-HTTPS endpoint path (RFC 8484 §4).
+const DoHPath = "/dns-query"
+
+// DoHServer serves DNS over HTTPS (RFC 8484): wire-format queries arrive
+// as POST bodies or base64url ?dns= GET parameters on /dns-query, and
+// wire-format answers go back as application/dns-message. Exactly one of
+// Server or Handler must be set; Server takes precedence and applies the
+// TCP-sized response limit (no datagram truncation over HTTP).
+type DoHServer struct {
+	Server *Server
+	// Handler serves queries when Server is nil — any simnet.Handler,
+	// e.g. a recursive front-end.
+	Handler simnet.Handler
+	// TLS must be set for RFC 8484 semantics; nil serves plain HTTP,
+	// which is only useful behind a terminating proxy or in tests.
+	TLS *tls.Config
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Listen binds addr and serves until Close, returning the bound address.
+func (d *DoHServer) Listen(addr string) (netip.AddrPort, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	bound := ln.Addr().(*net.TCPAddr).AddrPort()
+	mux := http.NewServeMux()
+	mux.Handle(DoHPath, d)
+	d.ln = ln
+	d.srv = &http.Server{
+		Handler:           mux,
+		TLSConfig:         d.TLS,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       DefaultTCPIdleTimeout,
+	}
+	go func() {
+		if d.TLS != nil {
+			_ = d.srv.ServeTLS(ln, "", "")
+		} else {
+			_ = d.srv.Serve(ln)
+		}
+	}()
+	return bound, nil
+}
+
+// ServeHTTP implements http.Handler for the /dns-query endpoint.
+func (d *DoHServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var query []byte
+	var err error
+	switch r.Method {
+	case http.MethodPost:
+		query, err = io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	case http.MethodGet:
+		query, err = base64.RawURLEncoding.DecodeString(r.URL.Query().Get("dns"))
+	default:
+		w.WriteHeader(http.StatusMethodNotAllowed)
+		return
+	}
+	if err != nil || len(query) < 12 {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	from := netip.Addr{}
+	if ap, perr := netip.ParseAddrPort(r.RemoteAddr); perr == nil {
+		from = ap.Addr()
+	}
+	var resp []byte
+	if d.Server != nil {
+		resp = d.Server.ServeDNSTCP(query, from)
+	} else if d.Handler != nil {
+		resp = d.Handler.ServeDNS(query, from)
+	}
+	if resp == nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/dns-message")
+	w.Header().Set("Content-Length", strconv.Itoa(len(resp)))
+	_, _ = w.Write(resp)
+}
+
+// Close stops the listener and in-flight requests.
+func (d *DoHServer) Close() error {
+	if d.srv == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

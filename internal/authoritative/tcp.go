@@ -1,6 +1,7 @@
 package authoritative
 
 import (
+	"crypto/tls"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -8,20 +9,64 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"dnsttl/internal/simnet"
 )
 
-// TCPServer serves a Server over TCP with RFC 1035 §4.2.2 two-byte length
+// Serving-plane defaults. A slow or hung client may pin at most one
+// goroutine for DefaultTCPIdleTimeout; the connection cap bounds how many
+// such goroutines can exist at once.
+const (
+	// DefaultTCPIdleTimeout is how long a connection may sit between
+	// queries (and how long one read/write may take) before it is closed.
+	DefaultTCPIdleTimeout = 30 * time.Second
+	// DefaultMaxTCPConns bounds concurrently served connections.
+	DefaultMaxTCPConns = 512
+)
+
+// TCPServer serves DNS over TCP with RFC 1035 §4.2.2 two-byte length
 // framing — the fallback transport clients use when a UDP response arrives
-// truncated.
+// truncated, and the base layer for DoT when TLS is set. Exactly one of
+// Server or Handler must be set; Server takes precedence and applies the
+// 64 KiB TCP response limit instead of datagram truncation.
 type TCPServer struct {
 	Server *Server
+	// Handler serves queries when Server is nil — any simnet.Handler,
+	// e.g. a recursive front-end.
+	Handler simnet.Handler
+	// TLS, when non-nil, wraps every accepted connection (DNS over TLS,
+	// RFC 7858).
+	TLS *tls.Config
+	// IdleTimeout bounds each read and write on a connection, so a client
+	// that stops sending (or stops reading) cannot pin its goroutine
+	// forever. 0 means DefaultTCPIdleTimeout.
+	IdleTimeout time.Duration
+	// MaxConns caps concurrently served connections; excess accepts are
+	// closed immediately. 0 means DefaultMaxTCPConns; negative means
+	// unlimited.
+	MaxConns int
+
+	// rejected counts connections refused by the MaxConns cap.
+	rejected atomic.Uint64
 
 	mu     sync.Mutex
 	ln     net.Listener
 	closed bool
 	wg     sync.WaitGroup
+	sem    chan struct{}
 }
+
+func (t *TCPServer) idleTimeout() time.Duration {
+	if t.IdleTimeout > 0 {
+		return t.IdleTimeout
+	}
+	return DefaultTCPIdleTimeout
+}
+
+// Rejected reports connections refused by the MaxConns cap.
+func (t *TCPServer) Rejected() uint64 { return t.rejected.Load() }
 
 // Listen binds addr and serves until Close, returning the bound address.
 func (t *TCPServer) Listen(addr string) (netip.AddrPort, error) {
@@ -29,12 +74,23 @@ func (t *TCPServer) Listen(addr string) (netip.AddrPort, error) {
 	if err != nil {
 		return netip.AddrPort{}, err
 	}
+	bound := ln.Addr().(*net.TCPAddr).AddrPort()
+	if t.TLS != nil {
+		ln = tls.NewListener(ln, t.TLS)
+	}
+	maxConns := t.MaxConns
+	if maxConns == 0 {
+		maxConns = DefaultMaxTCPConns
+	}
 	t.mu.Lock()
 	t.ln = ln
+	if maxConns > 0 {
+		t.sem = make(chan struct{}, maxConns)
+	}
 	t.mu.Unlock()
 	t.wg.Add(1)
 	go t.serve(ln)
-	return ln.Addr().(*net.TCPAddr).AddrPort(), nil
+	return bound, nil
 }
 
 func (t *TCPServer) serve(ln net.Listener) {
@@ -50,32 +106,57 @@ func (t *TCPServer) serve(ln net.Listener) {
 			}
 			continue
 		}
+		if t.sem != nil {
+			select {
+			case t.sem <- struct{}{}:
+			default:
+				// At the connection cap: shed the newcomer instead of
+				// queueing it behind goroutines a slow client may be
+				// pinning.
+				t.rejected.Add(1)
+				_ = conn.Close()
+				continue
+			}
+		}
 		t.wg.Add(1)
 		go func() {
 			defer t.wg.Done()
+			if t.sem != nil {
+				defer func() { <-t.sem }()
+			}
 			t.handleConn(conn)
 		}()
 	}
 }
 
-// handleConn serves queries on one connection until EOF or error. Multiple
-// queries per connection are allowed, as the RFC permits.
+// handleConn serves queries on one connection until EOF, error, or an idle
+// timeout. Multiple queries per connection are allowed, as the RFC permits.
 func (t *TCPServer) handleConn(conn net.Conn) {
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	idle := t.idleTimeout()
 	from := netip.Addr{}
 	if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
 		from = ta.AddrPort().Addr()
 	}
 	for {
+		// One deadline per query: a client may hold the connection open
+		// indefinitely as long as it keeps sending, but each silence is
+		// bounded.
+		_ = conn.SetReadDeadline(time.Now().Add(idle))
 		query, err := readFrame(conn)
 		if err != nil {
 			return
 		}
-		resp := t.Server.ServeDNSTCP(query, from)
+		var resp []byte
+		if t.Server != nil {
+			resp = t.Server.ServeDNSTCP(query, from)
+		} else if t.Handler != nil {
+			resp = t.Handler.ServeDNS(query, from)
+		}
 		if resp == nil {
 			return
 		}
+		_ = conn.SetWriteDeadline(time.Now().Add(idle))
 		if err := writeFrame(conn, resp); err != nil {
 			return
 		}

@@ -1,0 +1,260 @@
+package transport
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"dnsttl/internal/authoritative"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/obs"
+	"dnsttl/internal/simnet"
+)
+
+// echoHandler answers any query by echoing it with QR set — enough for
+// transport round-trip tests, which only care about framing, ID handling,
+// and connection reuse.
+var echoHandler = simnet.HandlerFunc(func(wire []byte, _ netip.Addr) []byte {
+	resp := make([]byte, len(wire))
+	copy(resp, wire)
+	resp[2] |= 0x80
+	return resp
+})
+
+func encodedQuery(t *testing.T, id uint16) []byte {
+	t.Helper()
+	q := dnswire.NewQuery(id, dnswire.NewName("www.example.org"), dnswire.TypeA)
+	wire, err := dnswire.Encode(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+// TestExchangeAllKinds round-trips every transport kind against a real
+// server over loopback — UDP, TCP, DoT (verified TLS), DoH (verified
+// HTTPS) — and checks that repeated exchanges reuse pooled connections.
+func TestExchangeAllKinds(t *testing.T) {
+	cert, pool, err := SelfSigned("127.0.0.1", "localhost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverTLS := &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+
+	cases := []struct {
+		kind   Kind
+		listen func(t *testing.T) netip.AddrPort
+		tls    *x509.CertPool
+	}{
+		{kind: UDP, listen: func(t *testing.T) netip.AddrPort {
+			s := &authoritative.UDPServer{Handler: echoHandler}
+			addr, err := s.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+			return addr
+		}},
+		{kind: TCP, listen: func(t *testing.T) netip.AddrPort {
+			s := &authoritative.TCPServer{Handler: echoHandler}
+			addr, err := s.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+			return addr
+		}},
+		{kind: DoT, tls: pool, listen: func(t *testing.T) netip.AddrPort {
+			s := &authoritative.TCPServer{Handler: echoHandler, TLS: serverTLS.Clone()}
+			addr, err := s.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+			return addr
+		}},
+		{kind: DoH, tls: pool, listen: func(t *testing.T) netip.AddrPort {
+			s := &authoritative.DoHServer{Handler: echoHandler, TLS: serverTLS.Clone()}
+			addr, err := s.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { s.Close() })
+			return addr
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.kind.String(), func(t *testing.T) {
+			addr := tc.listen(t)
+			reg := obs.NewRegistry(nil)
+			m := NewMetrics(reg)
+			cfg := Config{Kind: tc.kind, Timeout: 3 * time.Second, Metrics: m}
+			if tc.tls != nil {
+				cfg.TLS = &tls.Config{RootCAs: tc.tls, MinVersion: tls.VersionTLS12}
+			}
+			tr, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+
+			const rounds = 3
+			for i := 0; i < rounds; i++ {
+				id := 0x3000 + uint16(i)
+				resp, rtt, err := tr.Exchange(addr, encodedQuery(t, id))
+				if err != nil {
+					t.Fatalf("exchange %d: %v", i, err)
+				}
+				if rtt <= 0 {
+					t.Errorf("exchange %d: rtt = %v", i, rtt)
+				}
+				msg, err := dnswire.Decode(resp)
+				if err != nil {
+					t.Fatalf("exchange %d: decode: %v", i, err)
+				}
+				if msg.Header.ID != id {
+					t.Errorf("exchange %d: ID = %d, want %d", i, msg.Header.ID, id)
+				}
+				if !msg.Header.QR {
+					t.Errorf("exchange %d: QR not set", i)
+				}
+			}
+
+			if got := m.Exchanges.Value(); got != rounds {
+				t.Errorf("Exchanges = %d, want %d", got, rounds)
+			}
+			if got := m.Reuses.Value(); got == 0 {
+				t.Errorf("Reuses = 0, want > 0 (sequential exchanges must reuse the pooled connection)")
+			}
+			if got := m.Errors.Value(); got != 0 {
+				t.Errorf("Errors = %d, want 0", got)
+			}
+			if tc.tls != nil {
+				if got := m.Handshakes.Value(); got == 0 {
+					t.Errorf("Handshakes = 0, want > 0 for %s", tc.kind)
+				}
+			}
+		})
+	}
+}
+
+// TestUDPTruncationFallsBackToTCP serves TC-bit answers over UDP and full
+// answers over TCP on the same port; the UDP transport must retry over TCP
+// and return the untruncated response.
+func TestUDPTruncationFallsBackToTCP(t *testing.T) {
+	truncating := simnet.HandlerFunc(func(wire []byte, _ netip.Addr) []byte {
+		resp := make([]byte, len(wire))
+		copy(resp, wire)
+		resp[2] |= 0x80 | 0x02 // QR + TC
+		return resp
+	})
+	us := &authoritative.UDPServer{Handler: truncating}
+	addr, err := us.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer us.Close()
+	ts := &authoritative.TCPServer{Handler: echoHandler}
+	if _, err := ts.Listen(fmt.Sprintf("127.0.0.1:%d", addr.Port())); err != nil {
+		t.Fatalf("binding TCP on the UDP port: %v", err)
+	}
+	defer ts.Close()
+
+	reg := obs.NewRegistry(nil)
+	m := NewMetrics(reg)
+	tr, err := New(Config{Kind: UDP, Timeout: 3 * time.Second, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	resp, _, err := tr.Exchange(addr, encodedQuery(t, 0x0777))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := dnswire.Decode(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Header.TC {
+		t.Errorf("response still truncated — TCP fallback did not happen")
+	}
+	if msg.Header.ID != 0x0777 {
+		t.Errorf("ID = %d, want %d", msg.Header.ID, 0x0777)
+	}
+	if got := m.TCPFallbacks.Value(); got != 1 {
+		t.Errorf("TCPFallbacks = %d, want 1", got)
+	}
+
+	// With fallback disabled the truncated answer is returned as is.
+	tr2, err := New(Config{Kind: UDP, Timeout: 3 * time.Second, DisableTCPFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	resp, _, err = tr2.Exchange(addr, encodedQuery(t, 0x0778))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg, err := dnswire.Decode(resp); err != nil || !msg.Header.TC {
+		t.Errorf("DisableTCPFallback should return the truncated UDP answer (err=%v)", err)
+	}
+}
+
+// TestParseKind covers the flag-value round trip.
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{UDP, TCP, DoT, DoH} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("carrier-pigeon"); err == nil {
+		t.Errorf("ParseKind should reject unknown kinds")
+	}
+	ports := map[Kind]uint16{UDP: 53, TCP: 53, DoT: 853, DoH: 443}
+	for k, want := range ports {
+		if got := k.DefaultPort(); got != want {
+			t.Errorf("%v.DefaultPort() = %d, want %d", k, got, want)
+		}
+	}
+}
+
+// TestDoTVerificationFailsWithoutTrust checks that DoT against a
+// self-signed server fails closed unless the certificate is trusted or
+// Insecure is set.
+func TestDoTVerificationFailsWithoutTrust(t *testing.T) {
+	cert, _, err := SelfSigned("127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &authoritative.TCPServer{Handler: echoHandler,
+		TLS: &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}}
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	strict, err := New(Config{Kind: DoT, Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer strict.Close()
+	if _, _, err := strict.Exchange(addr, encodedQuery(t, 1)); err == nil {
+		t.Errorf("DoT against an untrusted cert must fail verification")
+	}
+
+	insecure, err := New(Config{Kind: DoT, Timeout: 2 * time.Second, Insecure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer insecure.Close()
+	if _, _, err := insecure.Exchange(addr, encodedQuery(t, 2)); err != nil {
+		t.Errorf("DoT with Insecure should succeed: %v", err)
+	}
+}

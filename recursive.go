@@ -1,17 +1,23 @@
 package dnsttl
 
 import (
+	"crypto/tls"
 	"net/netip"
 
 	"dnsttl/internal/authoritative"
 	"dnsttl/internal/dnswire"
 )
 
-// RecursiveServer fronts a Client with a UDP listener, turning the library
-// into a runnable recursive resolver daemon (cmd/resolverd).
+// RecursiveServer fronts a Client with real-socket listeners — UDP, TCP,
+// DoT, and DoH — turning the library into a runnable recursive resolver
+// daemon (cmd/resolverd). Each Listen* method is independent; any subset
+// may be active.
 type RecursiveServer struct {
 	Client *Client
 	u      *authoritative.UDPServer
+	t      *authoritative.TCPServer
+	dot    *authoritative.TCPServer
+	doh    *authoritative.DoHServer
 }
 
 // ServeDNS answers one client query through the resolver: decode, resolve
@@ -55,10 +61,44 @@ func (rs *RecursiveServer) ListenUDP(addr string) (netip.AddrPort, error) {
 	return rs.u.Listen(addr)
 }
 
-// Close stops the listener.
+// ListenTCP binds addr for persistent-TCP clients (RFC 7766) until Close.
+func (rs *RecursiveServer) ListenTCP(addr string) (netip.AddrPort, error) {
+	rs.t = &authoritative.TCPServer{Handler: rs}
+	return rs.t.Listen(addr)
+}
+
+// ListenDoT binds addr for DNS-over-TLS clients (RFC 7858) until Close.
+func (rs *RecursiveServer) ListenDoT(addr string, cfg *tls.Config) (netip.AddrPort, error) {
+	rs.dot = &authoritative.TCPServer{Handler: rs, TLS: cfg}
+	return rs.dot.Listen(addr)
+}
+
+// ListenDoH binds addr for DNS-over-HTTPS clients (RFC 8484) until Close.
+func (rs *RecursiveServer) ListenDoH(addr string, cfg *tls.Config) (netip.AddrPort, error) {
+	rs.doh = &authoritative.DoHServer{Handler: rs, TLS: cfg}
+	return rs.doh.Listen(addr)
+}
+
+// Close stops every active listener.
 func (rs *RecursiveServer) Close() error {
-	if rs.u == nil {
-		return nil
+	var err error
+	if rs.u != nil {
+		err = rs.u.Close()
 	}
-	return rs.u.Close()
+	if rs.t != nil {
+		if e := rs.t.Close(); err == nil {
+			err = e
+		}
+	}
+	if rs.dot != nil {
+		if e := rs.dot.Close(); err == nil {
+			err = e
+		}
+	}
+	if rs.doh != nil {
+		if e := rs.doh.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
 }

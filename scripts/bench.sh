@@ -1,15 +1,15 @@
 #!/usr/bin/env bash
 # bench.sh — regenerate the repo's performance trajectory file.
 #
-# Runs the codec / cache / resolver / farm micro-benchmarks and the parallel
-# experiment-sweep timing in-process (cmd/benchjson) and writes BENCH_PR5.json
-# at the repo root. Pass --smoke for the fast CI variant that skips the
-# multi-second sweep timings.
+# Runs the codec / cache / resolver / farm micro-benchmarks, the loopback
+# loadgen bursts, and the parallel experiment-sweep timing in-process
+# (cmd/benchjson) and writes BENCH_PR6.json at the repo root. Pass --smoke
+# for the fast CI variant that skips the multi-second sweep timings.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 args=()
-out="BENCH_PR5.json"
+out="BENCH_PR6.json"
 for a in "$@"; do
   case "$a" in
     --smoke) args+=("-smoke"); out="BENCH_SMOKE.json" ;;

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Smoke-test the load engine against a live resolver daemon: start an
+# authserver and a resolverd (UDP + TCP client listeners), fire a short
+# dnsload burst over loopback on each transport, and assert every burst
+# reports nonzero QPS and zero protocol errors. Exits non-zero on any
+# failure.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$workdir"' EXIT
+
+cat > "$workdir/root.zone" <<'EOF'
+$ORIGIN .
+@                   86400 IN SOA a.root-servers.net. ops.example. 1 1800 900 604800 86400
+@                   518400 IN NS a.root-servers.net.
+a.root-servers.net. 518400 IN A 127.0.0.1
+example.test.       172800 IN NS ns1.example.test.
+ns1.example.test.   172800 IN A 127.0.0.1
+EOF
+cat > "$workdir/example.test.zone" <<'EOF'
+$ORIGIN example.test.
+@    3600 IN SOA ns1 admin 1 7200 3600 1209600 60
+@    3600 IN NS ns1
+ns1  3600 IN A 127.0.0.1
+www  300  IN A 192.0.2.80
+EOF
+
+go build -o "$workdir" ./cmd/authserver ./cmd/resolverd ./cmd/dnsload
+
+"$workdir/authserver" -listen 127.0.0.1:5365 -name a.root-servers.net \
+    -zone .="$workdir/root.zone" -zone example.test="$workdir/example.test.zone" &
+sleep 0.5
+"$workdir/resolverd" -listen 127.0.0.1:5366 -listen-tcp 127.0.0.1:5366 \
+    -root 127.0.0.1 -rootport 5365 &
+sleep 0.5
+
+check_burst() {
+    local transport=$1
+    local out="$workdir/load-$transport.json"
+    "$workdir/dnsload" -server 127.0.0.1 -port 5366 -transport "$transport" \
+        -workers 8 -count 2000 -workload www.example.test:A \
+        -fail-on-error -json "$out"
+    grep -q '"errors": 0' "$out" ||
+        { echo "loadgen smoke ($transport): protocol errors:"; cat "$out"; exit 1; } >&2
+    grep -q '"qps": 0,' "$out" &&
+        { echo "loadgen smoke ($transport): zero qps:"; cat "$out"; exit 1; } >&2
+    grep -q '"noerror": 2000' "$out" ||
+        { echo "loadgen smoke ($transport): not every query answered NOERROR:"; cat "$out"; exit 1; } >&2
+    echo "loadgen smoke ($transport): OK"
+}
+
+check_burst udp
+check_burst tcp
+
+echo "loadgen smoke: OK"
