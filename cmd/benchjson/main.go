@@ -28,6 +28,7 @@ import (
 	"dnsttl/internal/resolver"
 	"dnsttl/internal/simnet"
 	"dnsttl/internal/transport"
+	"dnsttl/internal/workload"
 	"dnsttl/internal/zone"
 )
 
@@ -68,6 +69,7 @@ type report struct {
 	Benchmarks   []benchResult      `json:"benchmarks"`
 	Loadgen      []loadReport       `json:"loadgen,omitempty"`
 	Sweeps       []sweepResult      `json:"sweeps,omitempty"`
+	Compiler     *compilerResult    `json:"compiler,omitempty"`
 }
 
 func run(name string, fn func(b *testing.B)) benchResult {
@@ -241,6 +243,89 @@ func cacheBenches() []benchResult {
 				}
 			}
 		}),
+	}
+}
+
+// workloadBenches pins the generator's hot path: the O(1) alias-method
+// Zipf draw that replaced the former O(log n) binary search over the
+// cumulative distribution. The binary-search reference is timed inline on
+// the same masses so the report carries the comparison, not just the
+// absolute number.
+// sink keeps the draw results observable so the loops aren't dead code.
+var sink int
+
+func workloadBenches() []benchResult {
+	const names = 1 << 20 // planet-scale name universe
+	g := workload.New(dnswire.NewName("bench.example.org"), names, 1.0, 100, 7)
+	masses := g.Masses()
+	cdf := make([]float64, len(masses))
+	sum := 0.0
+	for i, m := range masses {
+		sum += m
+		cdf[i] = sum
+	}
+	alias := workload.NewAlias(masses)
+	return []benchResult{
+		run("workload/zipf_draw_alias", func(b *testing.B) {
+			b.ReportAllocs()
+			u := 0.0
+			for i := 0; i < b.N; i++ {
+				sink = alias.Draw(u)
+				u += 0.6180339887498949 // low-discrepancy sweep of [0,1)
+				if u >= 1 {
+					u--
+				}
+			}
+		}),
+		run("workload/zipf_draw_binsearch", func(b *testing.B) {
+			b.ReportAllocs()
+			u := 0.0
+			for i := 0; i < b.N; i++ {
+				lo, hi := 0, len(cdf)-1
+				for lo < hi {
+					mid := (lo + hi) / 2
+					if cdf[mid] < u*sum {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				sink = lo
+				u += 0.6180339887498949
+				if u >= 1 {
+					u--
+				}
+			}
+		}),
+		run("workload/generator_next", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, name := g.Next()
+				sink = len(name)
+			}
+		}),
+	}
+}
+
+// compilerBench runs the planet-scale tier and reports the workload
+// compiler's headline: simulated user-seconds delivered per wall-clock
+// second across twelve (population × TTL) day-long cells, 1M–100M users.
+type compilerResult struct {
+	Cells       int     `json:"cells"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Throughput  float64 `json:"user_seconds_per_wall_second"`
+	Hit10MT300  float64 `json:"hit_10m_ttl300"`
+	Amp10MT300  float64 `json:"amp_10m_ttl300"`
+}
+
+func compilerBench() compilerResult {
+	r := experiments.PlanetScale()
+	return compilerResult{
+		Cells:       12,
+		WallSeconds: r.Metrics["wall_seconds"],
+		Throughput:  r.Metrics["throughput_user_seconds_per_wall_second"],
+		Hit10MT300:  r.Metrics["hit_10m_ttl300"],
+		Amp10MT300:  r.Metrics["amp_10m_ttl300"],
 	}
 }
 
@@ -539,7 +624,7 @@ func fatal(err error) {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR6.json", "output file ('-' for stdout)")
+	out := flag.String("o", "BENCH_PR7.json", "output file ('-' for stdout)")
 	smoke := flag.Bool("smoke", false, "CI smoke mode: skip the multi-second sweep timings")
 	probes := flag.Int("probes", 120, "probe count per sweep cell")
 	flag.Parse()
@@ -568,7 +653,10 @@ func main() {
 	rep.Benchmarks = append(rep.Benchmarks, codecBenches()...)
 	rep.Benchmarks = append(rep.Benchmarks, cacheBenches()...)
 	rep.Benchmarks = append(rep.Benchmarks, resolveBenches()...)
+	rep.Benchmarks = append(rep.Benchmarks, workloadBenches()...)
 	rep.Loadgen = loadgenBenches(*smoke)
+	cb := compilerBench()
+	rep.Compiler = &cb
 	if !*smoke {
 		rep.Sweeps = append(rep.Sweeps, sweepBench(*probes))
 		rep.Sweeps = append(rep.Sweeps, pressureSweepBench(2000))

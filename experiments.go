@@ -53,7 +53,7 @@ var ExperimentIDs = []string{
 	"table8", "table9", "figure10", "table10",
 	"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 	"dnssec", "hitrate", "outage-sweep", "propagation", "parent-child",
-	"farm-fragmentation", "chaos", "cache-pressure",
+	"farm-fragmentation", "chaos", "cache-pressure", "planet-scale",
 }
 
 // RunExperiment regenerates one paper artifact. IDs are listed in
@@ -123,6 +123,10 @@ func RunExperiment(id string, sc ExperimentScale) (*Report, error) {
 		return experiments.ChaosExperiment(max(sc.Probes/40, 2), sc.Workers, sc.Seed, sc.Chaos), nil
 	case "cache-pressure":
 		return experiments.CachePressure(sc.Probes*16, sc.Workers, sc.Seed), nil
+	case "planet-scale":
+		// Fully closed-form: scale knobs don't apply, and there is no
+		// randomness to seed.
+		return experiments.PlanetScale(), nil
 	}
 	return nil, fmt.Errorf("dnsttl: unknown experiment %q (known: %v)", id, ExperimentIDs)
 }
@@ -153,7 +157,7 @@ func RunAllExperiments(sc ExperimentScale) ([]*Report, error) {
 		"figure10", "table10",
 		"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 		"dnssec", "hitrate", "outage-sweep", "propagation",
-		"farm-fragmentation", "chaos", "cache-pressure",
+		"farm-fragmentation", "chaos", "cache-pressure", "planet-scale",
 	} {
 		r, err := RunExperiment(id, sc)
 		if err != nil {

@@ -78,6 +78,21 @@ var regionWeights = []struct {
 	{latency.OC, 0.05},
 }
 
+// RegionShares returns the platform's region skew as parallel slices of
+// regions and probability shares (summing to 1), most heavily weighted
+// first. The workload compiler scales per-region arrival rates by these
+// shares so a planet-scale population inherits the same geography the
+// simulated fleet samples from.
+func RegionShares() ([]latency.Region, []float64) {
+	regions := make([]latency.Region, len(regionWeights))
+	shares := make([]float64, len(regionWeights))
+	for i, rw := range regionWeights {
+		regions[i] = rw.r
+		shares[i] = rw.w
+	}
+	return regions, shares
+}
+
 func sampleRegion(r *rand.Rand) latency.Region {
 	x := r.Float64()
 	for _, rw := range regionWeights {

@@ -138,6 +138,18 @@ func entryBytes(e *Entry) int32 {
 	return int32(n)
 }
 
+// EntryCharge computes the byte charge an entry with the given key name
+// length and record wire sizes would incur — the same arithmetic Put uses
+// for resident accounting. The workload compiler uses it to run the Che
+// byte fixed point against real MaxBytes bounds without building entries.
+func EntryCharge(keyNameLen int, rrWireSizes ...int) int32 {
+	n := entryIndexOverhead + keyNameLen
+	for _, s := range rrWireSizes {
+		n += s
+	}
+	return int32(n)
+}
+
 // Config tunes cache behavior; the zero value is a plain RFC-conformant
 // cache with a 1M-entry bound.
 type Config struct {

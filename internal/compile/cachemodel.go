@@ -1,0 +1,242 @@
+package compile
+
+import "math"
+
+// Line is one compiled (resolver, qname) renewal process — or a band of
+// Count identical processes, which is how Zipf tails stay bounded.
+type Line struct {
+	// Lambda is the per-line arrival rate, queries/s.
+	Lambda float64
+	// TTL is the cache lifetime in seconds after policy capping
+	// (resolver.Policy.CacheLifetime).
+	TTL float64
+	// Bytes is the resident byte charge while cached
+	// (cache.EntryCharge arithmetic).
+	Bytes float64
+	// Count aggregates identical lines; ≤0 means 1.
+	Count float64
+}
+
+func (l Line) count() float64 {
+	if l.Count <= 0 {
+		return 1
+	}
+	return l.Count
+}
+
+// CacheSpec configures the shared cache the lines compete in.
+type CacheSpec struct {
+	// MaxBytes bounds resident bytes; 0 means unbounded.
+	MaxBytes float64
+	// BaseBytes is the infrastructure-resident overhead (zone cuts, NS and
+	// glue records) charged against MaxBytes before workload lines.
+	BaseBytes float64
+	// Policy is the eviction policy: "", "fifo", "lru", "slru".
+	Policy string
+	// PrefetchFrac enables refresh-ahead at this fraction of the TTL.
+	PrefetchFrac float64
+	// MaxEntries is the cache's entry-count capacity (cache.Config
+	// Capacity). The transient model sizes the SLRU protected segment
+	// from it; 0 leaves the segment bounded by bytes alone.
+	MaxEntries float64
+	// Exact selects the quadrature-grade composite solver (validation
+	// fidelity); false uses closed-form approximations (planet fidelity).
+	Exact bool
+	// Grid is the Volterra grid for Exact mode; 0 picks a default.
+	Grid int
+}
+
+// Solution is the solved steady state of a line set in a shared cache.
+type Solution struct {
+	// PerLine has one entry per input line (representative rates; multiply
+	// by Count for totals).
+	PerLine []LineRates
+	// CharTime is the characteristic time the byte bound induces: the
+	// idle-eviction horizon (lru/slru) or residency age bound (fifo).
+	// +Inf when the bound does not bind.
+	CharTime float64
+	// Hit is the aggregate client hit rate, arrival-weighted.
+	Hit float64
+	// Upstream is the total upstream fetch rate, queries/s.
+	Upstream float64
+	// PrefetchRate is the total refresh-ahead rate, queries/s.
+	PrefetchRate float64
+	// EvictRate is the total idle-eviction rate, events/s.
+	EvictRate float64
+	// OccBytes is the expected resident workload bytes (excluding
+	// BaseBytes).
+	OccBytes float64
+}
+
+// SolveCache finds the steady state of lines sharing one byte-bounded
+// cache. Occupancy equals hit rate per line (PASTA), so the Che-style
+// fixed point is: find the characteristic time C at which
+// Σ count·bytes·hit(C) + BaseBytes = MaxBytes; if even C = max TTL fits,
+// the bound does not bind. hit(C) is monotone in C, so bisection
+// converges unconditionally.
+//
+// Policy fidelity:
+//   - "fifo": residency ends at age min(TTL, C) regardless of access —
+//     exact closed form.
+//   - "lru": idle gaps beyond C evict. Exact mode solves the composite
+//     Volterra equation per line; fast mode uses the Che product form
+//     hit ≈ λT/(1+λT)·(1−e^{−λC}).
+//   - "slru" (TinyLFU-admitted segmented LRU): modeled as a perfect-LFU
+//     byte knapsack — lines are admitted in popularity order until the
+//     budget is spent; rejected lines never cache. The admission filter's
+//     imperfection shows up as the boundary band's partial admission.
+func SolveCache(lines []Line, spec CacheSpec) Solution {
+	budget := spec.MaxBytes - spec.BaseBytes
+	unbounded := spec.MaxBytes <= 0
+
+	if spec.Policy == "slru" && !unbounded {
+		return solveKnapsack(lines, spec, budget)
+	}
+
+	maxTTL := 0.0
+	for _, l := range lines {
+		if l.TTL > maxTTL {
+			maxTTL = l.TTL
+		}
+	}
+	eval := func(c float64, grid int) []LineRates {
+		out := make([]LineRates, len(lines))
+		for i, l := range lines {
+			out[i] = lineRates(l, c, spec, grid)
+		}
+		return out
+	}
+	occBytes := func(rates []LineRates) float64 {
+		b := 0.0
+		for i, l := range lines {
+			b += l.count() * l.Bytes * rates[i].Hit
+		}
+		return b
+	}
+
+	full := eval(math.Inf(1), spec.Grid)
+	if unbounded || occBytes(full) <= budget {
+		return summarize(lines, full, math.Inf(1))
+	}
+	// Bisect C on the coarse grid, then re-evaluate the root finely.
+	coarse := spec.Grid
+	if spec.Exact {
+		coarse = 64
+	}
+	lo, hi := 0.0, maxTTL
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		if occBytes(eval(mid, coarse)) > budget {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		if hi-lo < maxTTL*1e-7 {
+			break
+		}
+	}
+	c := (lo + hi) / 2
+	return summarize(lines, eval(c, spec.Grid), c)
+}
+
+// lineRates evaluates one line at characteristic time c under the spec's
+// policy and fidelity.
+func lineRates(l Line, c float64, spec CacheSpec, grid int) LineRates {
+	switch spec.Policy {
+	case "fifo":
+		// Residency is an age bound: the line behaves as a pure-TTL line
+		// with lifetime min(TTL, C).
+		ttl := math.Min(l.TTL, c)
+		var r LineRates
+		if spec.PrefetchFrac > 0 {
+			p := PrefetchSteady(l.Lambda, ttl, spec.PrefetchFrac)
+			r = LineRates{Hit: p.Hit, Upstream: p.Upstream, Prefetch: p.Prefetch}
+		} else {
+			r = LineRates{Hit: SteadyHit(l.Lambda, ttl), Upstream: SteadyUpstream(l.Lambda, ttl)}
+		}
+		if r.Upstream > 0 {
+			r.Cycle = 1 / r.Upstream
+			if c < l.TTL {
+				// Every cycle ends in an age-out eviction rather than expiry.
+				r.Evict = r.Upstream
+			}
+		}
+		return r
+	default: // "", "lru"
+		if spec.Exact {
+			return CompositeLine(l.Lambda, l.TTL, c, spec.PrefetchFrac, grid)
+		}
+		var r LineRates
+		if spec.PrefetchFrac > 0 {
+			p := PrefetchSteady(l.Lambda, l.TTL, spec.PrefetchFrac)
+			r = LineRates{Hit: p.Hit, Upstream: p.Upstream, Prefetch: p.Prefetch}
+		} else {
+			r = LineRates{Hit: SteadyHit(l.Lambda, l.TTL), Upstream: SteadyUpstream(l.Lambda, l.TTL)}
+		}
+		if !math.IsInf(c, 1) {
+			// Che product form: survival of the idle bound thins hits.
+			survive := 1 - math.Exp(-l.Lambda*c)
+			lost := r.Hit * (1 - survive)
+			r.Hit *= survive
+			// Each lost hit is an extra miss fetch.
+			r.Upstream += lost * l.Lambda
+			r.Evict = lost * l.Lambda
+		}
+		if r.Upstream > 0 {
+			r.Cycle = 1 / r.Upstream
+		}
+		return r
+	}
+}
+
+// solveKnapsack is the SLRU/TinyLFU model: admit whole lines in input
+// order (callers supply lines most-popular first, which Zipf banding
+// guarantees) until the byte budget is exhausted; the boundary line is
+// admitted fractionally, everything after never caches.
+func solveKnapsack(lines []Line, spec CacheSpec, budget float64) Solution {
+	rates := make([]LineRates, len(lines))
+	spent := 0.0
+	cut := math.Inf(1)
+	for i, l := range lines {
+		full := lineRates(l, math.Inf(1), CacheSpec{Policy: "lru", PrefetchFrac: spec.PrefetchFrac, Exact: spec.Exact, Grid: spec.Grid}, spec.Grid)
+		need := l.count() * l.Bytes * full.Hit
+		switch {
+		case spent+need <= budget:
+			rates[i] = full
+			spent += need
+		case spent < budget:
+			frac := (budget - spent) / need
+			rates[i] = LineRates{
+				Hit:      full.Hit * frac,
+				Upstream: full.Upstream*frac + l.Lambda*(1-frac),
+				Prefetch: full.Prefetch * frac,
+				Evict:    l.Lambda * (1 - frac) / 2,
+			}
+			spent = budget
+			cut = float64(i)
+		default:
+			// Admission-rejected: every arrival misses and refetches.
+			rates[i] = LineRates{Upstream: l.Lambda}
+		}
+	}
+	return summarize(lines, rates, cut)
+}
+
+// summarize rolls per-line rates into the aggregate solution.
+func summarize(lines []Line, rates []LineRates, charTime float64) Solution {
+	s := Solution{PerLine: rates, CharTime: charTime}
+	totalLambda := 0.0
+	for i, l := range lines {
+		n := l.count()
+		totalLambda += n * l.Lambda
+		s.Hit += n * l.Lambda * rates[i].Hit
+		s.Upstream += n * rates[i].Upstream
+		s.PrefetchRate += n * rates[i].Prefetch
+		s.EvictRate += n * rates[i].Evict
+		s.OccBytes += n * l.Bytes * rates[i].Hit
+	}
+	if totalLambda > 0 {
+		s.Hit /= totalLambda
+	}
+	return s
+}

@@ -1,0 +1,193 @@
+package compile
+
+import (
+	"fmt"
+	"math"
+)
+
+// GroupResult is one cohort's accumulated outcome.
+type GroupResult struct {
+	Profile, Region string
+	Queries, Hits   float64
+}
+
+// Result is the engine's accumulated outcome over the horizon.
+type Result struct {
+	// VirtualSeconds is the simulated span; Users the modeled population.
+	VirtualSeconds, Users float64
+	// Queries, Hits, Misses, Failed are client-side totals. Failed counts
+	// queries that missed during an outage window (no upstream to refill
+	// from); they are not part of Misses.
+	Queries, Hits, Misses, Failed float64
+	// Upstream, Prefetches, Evictions are cache-side totals across all
+	// resolver cells.
+	Upstream, Prefetches, Evictions float64
+	// PeakUpstreamQPS is the highest per-segment upstream rate — the
+	// authoritative provisioning number.
+	PeakUpstreamQPS float64
+	// Lines and Resolvers report compiled state size.
+	Lines     int
+	Resolvers float64
+	Groups    []GroupResult
+}
+
+// HitRate is hits over answered (non-failed) queries.
+func (r *Result) HitRate() float64 {
+	if a := r.Queries - r.Failed; a > 0 {
+		return r.Hits / a
+	}
+	return 0
+}
+
+// Amplification is upstream fetches per client query — the paper's
+// authoritative-load lens: how much of the client demand leaks past the
+// caches.
+func (r *Result) Amplification() float64 {
+	if r.Queries > 0 {
+		return r.Upstream / r.Queries
+	}
+	return 0
+}
+
+// memoKey identifies one steady-state cache solve: cohorts with the same
+// policy shape and (quantized) cell rate share the solution, which is
+// what keeps a 100M-user run at the cost of a few dozen solves.
+type memoKey struct {
+	policy      string
+	prefetch    float64
+	lifetime    float64
+	maxBytes    float64
+	baseBytes   float64
+	microLambda int64
+}
+
+// Run advances the program through its segments. Within a segment every
+// line moves by closed-form occupancy arithmetic toward the segment's
+// steady state (solved once per distinct (cohort-class, rate) and
+// memoized); purge and outage events — where that aggregation is
+// unsound — are handled by explicit state resets and refill-free decay.
+func Run(p *Program) (*Result, error) {
+	spec := p.Spec
+	res := &Result{Users: spec.Users, Lines: p.Lines()}
+	occ := make([][]float64, len(p.Groups))
+	for gi := range p.Groups {
+		occ[gi] = make([]float64, len(p.Bands))
+		res.Resolvers += p.Groups[gi].Resolvers
+		res.Groups = append(res.Groups, GroupResult{
+			Profile: p.Groups[gi].Profile, Region: p.Groups[gi].Region,
+		})
+	}
+	memo := map[memoKey]*Solution{}
+	solve := func(g *Group, lambdaCell float64) *Solution {
+		key := memoKey{
+			policy: g.Cache.Policy, prefetch: g.Cache.PrefetchFrac,
+			lifetime: g.Lifetime, maxBytes: g.Cache.MaxBytes, baseBytes: g.Cache.BaseBytes,
+			microLambda: int64(lambdaCell * 1e6),
+		}
+		if s, ok := memo[key]; ok {
+			return s
+		}
+		lines := make([]Line, len(p.Bands))
+		for i, b := range p.Bands {
+			lines[i] = Line{
+				Lambda: lambdaCell * b.PerName(),
+				TTL:    g.Lifetime,
+				Bytes:  spec.RecordBytes,
+				Count:  float64(b.Count()),
+			}
+		}
+		s := SolveCache(lines, g.Cache)
+		memo[key] = &s
+		return &s
+	}
+
+	for _, seg := range p.Segments {
+		if seg.PurgeAtStart {
+			for gi := range occ {
+				for bi := range occ[gi] {
+					occ[gi][bi] = 0
+				}
+			}
+		}
+		segUpstream := 0.0
+		for gi := range p.Groups {
+			g := &p.Groups[gi]
+			mult := p.Diurnal[((seg.Hour+g.PhaseHours)%24+24)%24]
+			lambdaCell := g.BaseLambda * mult
+			scale := g.Resolvers // cells are identical; totals scale linearly
+
+			if seg.Outage {
+				// Upstream dark: hits drain the decaying cache, misses fail.
+				for bi, b := range p.Bands {
+					li := lambdaCell * b.PerName()
+					n := float64(b.Count()) * scale
+					queries := li * seg.Dur * n
+					var hits float64
+					if g.Lifetime > 0 {
+						decay := math.Exp(-seg.Dur / g.Lifetime)
+						intOcc := occ[gi][bi] * g.Lifetime * (1 - decay)
+						hits = li * intOcc * n
+						occ[gi][bi] *= decay
+					} else {
+						occ[gi][bi] = 0
+					}
+					res.Queries += queries
+					res.Hits += hits
+					res.Failed += queries - hits
+					res.Groups[gi].Queries += queries
+					res.Groups[gi].Hits += hits
+				}
+				continue
+			}
+
+			sol := solve(g, lambdaCell)
+			for bi, b := range p.Bands {
+				li := lambdaCell * b.PerName()
+				n := float64(b.Count()) * scale
+				ss := sol.PerLine[bi].Hit
+				eff := EffectiveLifetime(ss, li)
+				end, hits, misses := OccupancyStep(occ[gi][bi], li, eff, seg.Dur)
+				occ[gi][bi] = end
+				res.Queries += li * seg.Dur * n
+				res.Hits += hits * n
+				res.Misses += misses * n
+				segUpstream += misses * n
+				res.Groups[gi].Queries += li * seg.Dur * n
+				res.Groups[gi].Hits += hits * n
+				// Prefetch and eviction flow with occupancy: scale the
+				// steady rates by the segment's occupancy-to-steady ratio.
+				if ss > 0 {
+					avgOcc := hits / (li * seg.Dur)
+					ratio := math.Min(avgOcc/ss, 1)
+					pf := sol.PerLine[bi].Prefetch * seg.Dur * ratio * n
+					res.Prefetches += pf
+					segUpstream += pf
+					res.Evictions += sol.PerLine[bi].Evict * seg.Dur * ratio * n
+				}
+			}
+		}
+		res.Upstream += segUpstream
+		if seg.Dur > 0 {
+			if qps := segUpstream / seg.Dur; qps > res.PeakUpstreamQPS {
+				res.PeakUpstreamQPS = qps
+			}
+		}
+		res.VirtualSeconds += seg.Dur
+	}
+	return res, nil
+}
+
+// CompileAndRun is the one-call form: lower the spec, run the program.
+func CompileAndRun(spec Spec) (*Result, error) {
+	p, err := Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+	return Run(p)
+}
+
+// String summarizes a result for logs.
+func (r *Result) String() string {
+	return fmt.Sprintf("users=%.0f lines=%d hit=%.4f amp=%.4f peakUp=%.0fqps evict=%.0f prefetch=%.0f failed=%.0f",
+		r.Users, r.Lines, r.HitRate(), r.Amplification(), r.PeakUpstreamQPS, r.Evictions, r.Prefetches, r.Failed)
+}

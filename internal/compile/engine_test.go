@@ -1,0 +1,227 @@
+package compile
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dnsttl/internal/population"
+)
+
+func flatSpec(users float64) Spec {
+	flat := make([]float64, 24)
+	for i := range flat {
+		flat[i] = 1
+	}
+	return Spec{
+		Users:             users,
+		QueriesPerUserDay: 100,
+		Names:             100000,
+		ZipfS:             1.0,
+		TTL:               300,
+		Diurnal:           flat,
+	}
+}
+
+func TestCompileRejectsBadSpecs(t *testing.T) {
+	base := flatSpec(1e6)
+	bad := []func(*Spec){
+		func(s *Spec) { s.Users = 0 },
+		func(s *Spec) { s.QueriesPerUserDay = -1 },
+		func(s *Spec) { s.Names = 0 },
+		func(s *Spec) { s.Mix = population.Mix{{Name: "x", Weight: -1}} },
+		func(s *Spec) { s.Mix = population.Mix{} },
+		func(s *Spec) { s.Regions = []RegionShare{{Name: "EU", Share: 0}} },
+		func(s *Spec) { s.Regions = []RegionShare{{Name: "EU", Share: math.NaN()}} },
+		func(s *Spec) { s.Diurnal = []float64{1, 2, 3} },
+		func(s *Spec) { s.Events = []Event{{AtHours: 99, Kind: "purge"}} },
+		func(s *Spec) { s.Events = []Event{{AtHours: 1, Kind: "meteor"}} },
+	}
+	for i, mut := range bad {
+		s := base
+		mut(&s)
+		if _, err := Compile(s); err == nil {
+			t.Errorf("bad spec %d compiled without error", i)
+		}
+	}
+	if _, err := Compile(base); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+}
+
+func TestCompileLowering(t *testing.T) {
+	s := flatSpec(1e6)
+	s.Regions = []RegionShare{
+		{Name: "EU", Share: 0.7},
+		{Name: "NA", Share: 0.3, PhaseHours: -6},
+	}
+	p, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups = profiles × regions; users conserved.
+	wantGroups := len(population.DefaultMix()) * 2
+	if len(p.Groups) != wantGroups {
+		t.Errorf("got %d groups, want %d", len(p.Groups), wantGroups)
+	}
+	users := 0.0
+	for _, g := range p.Groups {
+		users += g.Users
+		if g.Resolvers < 1 || g.BaseLambda <= 0 {
+			t.Errorf("group %s/%s: resolvers %v lambda %v", g.Profile, g.Region, g.Resolvers, g.BaseLambda)
+		}
+		// Per-cell rate respects the cell size: users/resolvers ≤ cap.
+		if g.Users/g.Resolvers > 50000+1e-6 {
+			t.Errorf("group %s/%s oversizes cells: %v users/cell", g.Profile, g.Region, g.Users/g.Resolvers)
+		}
+	}
+	if math.Abs(users-1e6) > 1 {
+		t.Errorf("users not conserved: %v", users)
+	}
+	// Hourly segments with no events.
+	if len(p.Segments) != 24 {
+		t.Errorf("got %d segments, want 24", len(p.Segments))
+	}
+	// Compiled state is compressed: lines ≪ names × groups.
+	if p.Lines() >= s.Names {
+		t.Errorf("compiled %d lines for %d names — banding ineffective", p.Lines(), s.Names)
+	}
+}
+
+// TestRunMatchesClosedForm: with a flat diurnal curve, no cache bound and
+// no events, the engine must land on the banded Jung closed form exactly
+// (the occupancy ODE's only deviation is the cold start, which the
+// horizon amortizes).
+func TestRunMatchesClosedForm(t *testing.T) {
+	s := flatSpec(2e6)
+	s.Hours = 24 * 7
+	res, err := CompileAndRun(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := Compile(s)
+	want := 0.0
+	for _, g := range p.Groups {
+		gw := 0.0
+		for _, b := range p.Bands {
+			gw += b.Mass * SteadyHit(g.BaseLambda*b.PerName(), g.Lifetime)
+		}
+		want += gw * g.Users
+	}
+	want /= s.Users
+	if got := res.HitRate(); math.Abs(got-want) > 0.003 {
+		t.Errorf("engine hit %.5f vs closed form %.5f", got, want)
+	}
+	// Conservation: answered queries split into hits and misses.
+	if d := res.Queries - res.Hits - res.Misses - res.Failed; math.Abs(d) > res.Queries*1e-9 {
+		t.Errorf("query conservation violated by %v", d)
+	}
+	if res.Failed != 0 {
+		t.Errorf("no outage but %v failed queries", res.Failed)
+	}
+	// Total demand ≈ users × rate × horizon.
+	wantQ := s.Users * s.QueriesPerUserDay / 86400 * res.VirtualSeconds
+	if math.Abs(res.Queries-wantQ) > wantQ*1e-6 {
+		t.Errorf("total queries %v, want %v", res.Queries, wantQ)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	s := flatSpec(1e6)
+	s.Diurnal = nil // default two-peak curve
+	a, err := CompileAndRun(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := CompileAndRun(s)
+	if a.Hits != b.Hits || a.Upstream != b.Upstream || a.PeakUpstreamQPS != b.PeakUpstreamQPS {
+		t.Errorf("engine not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestRunPurgeCostsHits(t *testing.T) {
+	s := flatSpec(1e6)
+	base, err := CompileAndRun(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Events = []Event{{AtHours: 6, Kind: "purge"}, {AtHours: 12, Kind: "purge"}}
+	purged, err := CompileAndRun(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purged.Hits >= base.Hits {
+		t.Errorf("purges should cost hits: %v vs %v", purged.Hits, base.Hits)
+	}
+	if purged.Upstream <= base.Upstream {
+		t.Errorf("purges should cost upstream refills: %v vs %v", purged.Upstream, base.Upstream)
+	}
+	if purged.Queries != base.Queries {
+		t.Errorf("purges must not change demand: %v vs %v", purged.Queries, base.Queries)
+	}
+}
+
+func TestRunOutage(t *testing.T) {
+	s := flatSpec(1e6)
+	s.Events = []Event{{AtHours: 10, Kind: "outage", DurHours: 2}}
+	res, err := CompileAndRun(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed <= 0 {
+		t.Error("outage produced no failed queries")
+	}
+	base, _ := CompileAndRun(flatSpec(1e6))
+	// Cached entries still serve during the outage: failures are a strict
+	// subset of the outage window's demand.
+	outageDemand := s.Users * s.QueriesPerUserDay / 86400 * 2 * 3600
+	if res.Failed >= outageDemand {
+		t.Errorf("all %v outage queries failed — cache served none", res.Failed)
+	}
+	if res.Upstream >= base.Upstream {
+		t.Errorf("outage should reduce upstream: %v vs %v", res.Upstream, base.Upstream)
+	}
+}
+
+// TestRunPlanetScaleBudget pins the acceptance bound: a 10M-user day
+// compiles and runs well under 30s, and the compiled state is a few
+// thousand lines, not tens of millions of client objects.
+func TestRunPlanetScaleBudget(t *testing.T) {
+	s := flatSpec(1e7)
+	s.Diurnal = nil
+	s.MaxBytes = 4 << 20
+	s.Policy = "lru"
+	start := time.Now()
+	res, err := CompileAndRun(s)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed > 30*time.Second {
+		t.Errorf("10M-user day took %v, budget 30s", elapsed)
+	}
+	if res.Lines > 200000 {
+		t.Errorf("compiled state %d lines — not aggregate", res.Lines)
+	}
+	if res.HitRate() <= 0 || res.HitRate() >= 1 {
+		t.Errorf("implausible hit rate %v", res.HitRate())
+	}
+	if res.PeakUpstreamQPS <= 0 {
+		t.Error("no peak upstream recorded")
+	}
+	t.Logf("10M-user day in %v: %v", elapsed, res)
+}
+
+func TestDefaultDiurnalMeanOne(t *testing.T) {
+	d := DefaultDiurnal()
+	sum := 0.0
+	for _, v := range d {
+		if v <= 0 {
+			t.Fatalf("non-positive diurnal multiplier %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum/24-1) > 1e-12 {
+		t.Errorf("diurnal mean %v, want 1", sum/24)
+	}
+}

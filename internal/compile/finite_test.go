@@ -1,0 +1,211 @@
+package compile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// monteCarloPrefetchMisses simulates one refresh-ahead line from a cold
+// cache: Poisson arrivals, refresh on any hit with remaining ≤ frac·ttl.
+func monteCarloPrefetchMisses(lambda, ttl, frac, horizon float64, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	misses := 0.0
+	for t := 0; t < trials; t++ {
+		var now, expire float64
+		for {
+			now += rng.ExpFloat64() / lambda
+			if now > horizon {
+				break
+			}
+			if now < expire {
+				if expire-now <= frac*ttl {
+					expire = now + ttl
+				}
+			} else {
+				misses++
+				expire = now + ttl
+			}
+		}
+	}
+	return misses / float64(trials)
+}
+
+func TestPrefetchColdMissesExact(t *testing.T) {
+	const ttl, frac, horizon = 60.0, 0.5, 500.0
+	for _, lambda := range []float64{0.02, 0.05, 0.2, 1, 3} {
+		got := PrefetchColdMisses(lambda, ttl, frac, horizon)
+		sim := monteCarloPrefetchMisses(lambda, ttl, frac, horizon, 40000, 11)
+		// Monte Carlo SE is at most ~sqrt(misses)/sqrt(trials) ≈ 0.02.
+		if math.Abs(got-sim) > 0.06 {
+			t.Errorf("λ=%v: PrefetchColdMisses=%.4f, Monte Carlo=%.4f", lambda, got, sim)
+		}
+	}
+}
+
+func TestPrefetchColdMissesReductions(t *testing.T) {
+	// frac = 0 reduces to the plain ColdMisses arithmetic.
+	if got, want := PrefetchColdMisses(0.5, 60, 0, 400), ColdMisses(0.5, 60, 400); got != want {
+		t.Errorf("frac=0: got %v, want ColdMisses %v", got, want)
+	}
+	// ttl = 0 means every arrival misses.
+	if got := PrefetchColdMisses(0.5, 0, 0.5, 400); got != 200 {
+		t.Errorf("ttl=0: got %v, want 200", got)
+	}
+	// A horizon inside the first refresh window can only miss once.
+	got := PrefetchColdMisses(2, 100, 0.5, 40)
+	want := -math.Expm1(-2 * 40.0)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("short horizon: got %v, want %v", got, want)
+	}
+	// Prefetch never increases client misses.
+	for _, lambda := range []float64{0.05, 0.5, 2} {
+		pf := PrefetchColdMisses(lambda, 60, 0.5, 300)
+		plain := ColdMisses(lambda, 60, 300)
+		if pf > plain+1e-9 {
+			t.Errorf("λ=%v: prefetch misses %v exceed plain %v", lambda, pf, plain)
+		}
+	}
+}
+
+// testLines is a small Zipf-ish band set used by the FiniteHitModel tests.
+func testLines(ttl float64) []Line {
+	lines := make([]Line, 40)
+	for i := range lines {
+		lines[i] = Line{Lambda: 2.0 / float64(i+1), TTL: ttl, Bytes: 150}
+	}
+	return lines
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestFiniteHitModelUnboundedMatchesExact(t *testing.T) {
+	lines := testLines(60)
+	const horizon = 500.0
+	got := FiniteHitModel(lines, CacheSpec{}, horizon, 256)
+	for i, l := range lines {
+		want := l.Lambda*horizon - ColdMisses(l.Lambda, l.TTL, horizon)
+		if math.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("line %d: unbounded model %v != exact %v", i, got[i], want)
+		}
+	}
+}
+
+func TestFiniteHitModelBoundOnlyLoses(t *testing.T) {
+	const horizon = 500.0
+	for _, policy := range []string{"fifo", "lru", "slru"} {
+		for _, frac := range []float64{0, 0.5} {
+			if policy != "lru" && frac > 0 {
+				continue
+			}
+			lines := testLines(60)
+			free := FiniteHitModel(lines, CacheSpec{PrefetchFrac: frac}, horizon, 256)
+			spec := CacheSpec{MaxBytes: 2000, Policy: policy, PrefetchFrac: frac, MaxEntries: 20}
+			bounded := FiniteHitModel(testLines(60), spec, horizon, 256)
+			for i := range lines {
+				if bounded[i] > free[i]+1e-9 {
+					t.Errorf("%s frac=%v line %d: bounded hits %v exceed unbounded %v",
+						policy, frac, i, bounded[i], free[i])
+				}
+				if bounded[i] < 0 {
+					t.Errorf("%s line %d: negative hits %v", policy, i, bounded[i])
+				}
+			}
+			if sum(bounded) >= sum(free) {
+				t.Errorf("%s frac=%v: bound did not bite (bounded %v, free %v)",
+					policy, frac, sum(bounded), sum(free))
+			}
+		}
+	}
+}
+
+func TestFiniteHitModelFIFOFlatInTTL(t *testing.T) {
+	// Once the queue cycle time L is below every TTL, FIFO hit totals are
+	// TTL-independent — the property the simulated pressure grid shows.
+	const horizon = 500.0
+	spec := CacheSpec{MaxBytes: 2000, Policy: "fifo"}
+	h60 := sum(FiniteHitModel(testLines(60), spec, horizon, 256))
+	h300 := sum(FiniteHitModel(testLines(300), spec, horizon, 256))
+	h3000 := sum(FiniteHitModel(testLines(3000), spec, horizon, 256))
+	if math.Abs(h60-h300) > 0.02*h60 || math.Abs(h300-h3000) > 0.02*h300 {
+		t.Errorf("FIFO not TTL-flat under pressure: ttl60=%v ttl300=%v ttl3000=%v", h60, h300, h3000)
+	}
+}
+
+func TestFiniteHitModelPolicyOrderingLongTTL(t *testing.T) {
+	// At long TTLs (victims mostly fresh) recency beats queue order:
+	// lru ≥ fifo. And the slru churn-freeze sits between its frozen
+	// membership and plain lru, so it must stay within the fifo..free
+	// bracket too.
+	const horizon = 500.0
+	mk := func(policy string) float64 {
+		return sum(FiniteHitModel(testLines(600), CacheSpec{
+			MaxBytes: 2000, Policy: policy, MaxEntries: 20,
+		}, horizon, 256))
+	}
+	fifo, lru := mk("fifo"), mk("lru")
+	if lru < fifo {
+		t.Errorf("lru (%v) below fifo (%v) at long TTL", lru, fifo)
+	}
+	free := sum(FiniteHitModel(testLines(600), CacheSpec{}, horizon, 256))
+	slru := mk("slru")
+	if slru <= 0 || slru > free {
+		t.Errorf("slru total %v outside (0, unbounded %v]", slru, free)
+	}
+}
+
+func TestFiniteHitModelDeterministic(t *testing.T) {
+	spec := CacheSpec{MaxBytes: 2000, Policy: "slru", MaxEntries: 20}
+	a := FiniteHitModel(testLines(120), spec, 500, 256)
+	b := FiniteHitModel(testLines(120), spec, 500, 256)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("line %d: %v != %v across identical runs", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFillTime(t *testing.T) {
+	lines := testLines(60)
+	// Huge budget: never bites.
+	if _, bites := fillTime(lines, 1e9, 500); bites {
+		t.Error("fillTime bit on an oversized budget")
+	}
+	t0, bites := fillTime(lines, 2000, 500)
+	if !bites {
+		t.Fatal("fillTime did not bite on a tight budget")
+	}
+	// At t0 the seen-set equals the budget.
+	seen := 0.0
+	for _, l := range lines {
+		seen += l.count() * l.Bytes * -math.Expm1(-l.Lambda*t0)
+	}
+	if math.Abs(seen-2000) > 1 {
+		t.Errorf("seen-set at t0 = %v, want ≈ 2000", seen)
+	}
+}
+
+func TestCheTime(t *testing.T) {
+	lines := testLines(60)
+	c := cheTime(lines, 2000)
+	if math.IsInf(c, 1) || c <= 0 {
+		t.Fatalf("cheTime = %v, want finite positive", c)
+	}
+	// The Che balance: residency at C fills the budget.
+	b := 0.0
+	for _, l := range lines {
+		b += l.count() * l.Bytes * -math.Expm1(-l.Lambda*c)
+	}
+	if math.Abs(b-2000) > 1 {
+		t.Errorf("resident bytes at C = %v, want ≈ 2000", b)
+	}
+	if !math.IsInf(cheTime(lines, 1e9), 1) {
+		t.Error("cheTime should be +Inf when the budget never fills")
+	}
+}

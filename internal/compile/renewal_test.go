@@ -1,0 +1,183 @@
+package compile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// simLine brute-forces one cache line: Poisson arrivals at lambda against
+// TTL ttl, optional idle-eviction bound c and refresh-ahead fraction f,
+// over the horizon. Returns hits, misses, upstream fetches, prefetches.
+func simLine(rng *rand.Rand, lambda, ttl, c, f, horizon float64) (hits, misses, upstream, prefetch float64) {
+	var now, expiry, lastAccess float64
+	cached := false
+	for {
+		now += rng.ExpFloat64() / lambda
+		if now > horizon {
+			return
+		}
+		if cached && now-lastAccess > c {
+			cached = false // idle eviction
+		}
+		if cached && now < expiry {
+			hits++
+			lastAccess = now
+			if f > 0 && expiry-now <= f*ttl {
+				expiry = now + ttl // refresh-ahead
+				prefetch++
+				upstream++
+			}
+		} else {
+			misses++
+			upstream++
+			cached = true
+			expiry = now + ttl
+			lastAccess = now
+		}
+	}
+}
+
+func TestSteadyHitAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, c := range []struct{ lambda, ttl float64 }{
+		{0.5, 60}, {0.01, 300}, {3, 30}, {0.002, 3600},
+	} {
+		const horizon = 2e6
+		hits, misses, _, _ := simLine(rng, c.lambda, c.ttl, math.Inf(1), 0, horizon)
+		got := hits / (hits + misses)
+		want := SteadyHit(c.lambda, c.ttl)
+		if math.Abs(got-want) > 0.004 {
+			t.Errorf("λ=%v T=%v: simulated hit %.4f vs closed form %.4f", c.lambda, c.ttl, got, want)
+		}
+		up := SteadyUpstream(c.lambda, c.ttl)
+		if math.Abs(misses/horizon-up) > 0.004*c.lambda {
+			t.Errorf("λ=%v T=%v: simulated upstream %.5f vs %.5f", c.lambda, c.ttl, misses/horizon, up)
+		}
+	}
+}
+
+func TestPrefetchSteadyAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range []struct{ lambda, ttl, f float64 }{
+		{0.5, 60, 0.5}, {0.05, 60, 0.5}, {2, 300, 0.1}, {0.01, 300, 0.9},
+	} {
+		const horizon = 3e6
+		hits, misses, upstream, prefetch := simLine(rng, c.lambda, c.ttl, math.Inf(1), c.f, horizon)
+		p := PrefetchSteady(c.lambda, c.ttl, c.f)
+		if got := hits / (hits + misses); math.Abs(got-p.Hit) > 0.004 {
+			t.Errorf("λ=%v T=%v f=%v: hit %.4f vs %.4f", c.lambda, c.ttl, c.f, got, p.Hit)
+		}
+		if got := upstream / horizon; math.Abs(got-p.Upstream) > 0.02*p.Upstream+1e-6 {
+			t.Errorf("λ=%v T=%v f=%v: upstream %.6f vs %.6f", c.lambda, c.ttl, c.f, got, p.Upstream)
+		}
+		if got := prefetch / horizon; math.Abs(got-p.Prefetch) > 0.03*p.Prefetch+1e-6 {
+			t.Errorf("λ=%v T=%v f=%v: prefetch %.6f vs %.6f", c.lambda, c.ttl, c.f, got, p.Prefetch)
+		}
+	}
+}
+
+func TestColdMissesAgainstSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range []struct{ lambda, ttl, horizon float64 }{
+		{0.5, 60, 200},    // a few renewal cycles
+		{0.01, 300, 900},  // sparse arrivals
+		{2, 30, 5000},     // many cycles: asymptotic regime
+		{0.3, 86400, 900}, // TTL beyond horizon: only the first miss
+	} {
+		const runs = 4000
+		total := 0.0
+		for r := 0; r < runs; r++ {
+			_, m, _, _ := simLine(rng, c.lambda, c.ttl, math.Inf(1), 0, c.horizon)
+			total += m
+		}
+		got := total / runs
+		want := ColdMisses(c.lambda, c.ttl, c.horizon)
+		tol := 0.02*want + 0.05
+		if math.Abs(got-want) > tol {
+			t.Errorf("λ=%v T=%v D=%v: simulated %.3f misses vs exact %.3f", c.lambda, c.ttl, c.horizon, got, want)
+		}
+	}
+}
+
+func TestColdMissesProperties(t *testing.T) {
+	// Monotone in horizon, approaches steady slope D/(T+1/λ).
+	prev := 0.0
+	for _, d := range []float64{10, 100, 1000, 10000} {
+		m := ColdMisses(0.2, 60, d)
+		if m < prev {
+			t.Fatalf("ColdMisses not monotone at D=%v", d)
+		}
+		prev = m
+	}
+	lambda, ttl := 0.5, 120.0
+	slope := (ColdMisses(lambda, ttl, 2e5) - ColdMisses(lambda, ttl, 1e5)) / 1e5
+	want := 1 / (ttl + 1/lambda)
+	if math.Abs(slope-want) > 1e-4 {
+		t.Errorf("steady miss slope %.6f, want %.6f", slope, want)
+	}
+	if got := ColdMisses(2, 0, 50); got != 100 {
+		t.Errorf("zero TTL should miss every arrival: %v", got)
+	}
+}
+
+func TestGammaP(t *testing.T) {
+	// For integer shape a, P(a,x) = 1 − e^{−x} Σ_{k<a} x^k/k! (Erlang CDF)
+	// — an independent reference covering the series branch, the
+	// continued-fraction branch, and large arguments.
+	for _, a := range []int{1, 2, 5, 50, 200, 900} {
+		for _, x := range []float64{0.5, float64(a) * 0.9, float64(a), float64(a) * 1.1, float64(a) + 40} {
+			want := 1.0
+			logTerm := -x // ln(e^{−x}·x⁰/0!)
+			sum := 0.0
+			for k := 0; k < a; k++ {
+				if k > 0 {
+					logTerm += math.Log(x) - math.Log(float64(k))
+				}
+				sum += math.Exp(logTerm)
+			}
+			want -= sum
+			if got := gammaP(float64(a), x); math.Abs(got-want) > 1e-9 {
+				t.Errorf("gammaP(%d,%g) = %.12f, want %.12f", a, x, got, want)
+			}
+		}
+	}
+}
+
+func TestOccupancyStepConverges(t *testing.T) {
+	lambda, ttl := 0.4, 90.0
+	ss := SteadyHit(lambda, ttl)
+	occ := 0.0
+	var totalHits, totalQ float64
+	for i := 0; i < 200; i++ {
+		end, hits, misses := OccupancyStep(occ, lambda, ttl, 60)
+		occ = end
+		totalHits += hits
+		totalQ += hits + misses
+	}
+	if math.Abs(occ-ss) > 1e-6 {
+		t.Errorf("occupancy %.6f should converge to steady %.6f", occ, ss)
+	}
+	// Long-run hit fraction approaches the steady value from below
+	// (cold start costs extra misses).
+	frac := totalHits / totalQ
+	if frac >= ss || frac < ss-0.02 {
+		t.Errorf("transient-inclusive hit fraction %.4f vs steady %.4f", frac, ss)
+	}
+	// Decay-only: no arrivals drains occupancy.
+	end, hits, _ := OccupancyStep(0.8, 0, ttl, 90)
+	if hits != 0 || math.Abs(end-0.8*math.Exp(-1)) > 1e-9 {
+		t.Errorf("zero-rate decay wrong: end=%v hits=%v", end, hits)
+	}
+}
+
+func TestEffectiveLifetimeInverts(t *testing.T) {
+	for _, lambda := range []float64{0.01, 0.5, 4} {
+		for _, ttl := range []float64{10, 300, 7200} {
+			h := SteadyHit(lambda, ttl)
+			if got := EffectiveLifetime(h, lambda); math.Abs(got-ttl) > ttl*1e-9 {
+				t.Errorf("EffectiveLifetime(SteadyHit(λ=%v,T=%v)) = %v", lambda, ttl, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package compile
+
+import "math"
+
+// LineRates is the steady-state outcome of one composite cache line.
+type LineRates struct {
+	// Hit is the client hit rate; by PASTA it equals the line's
+	// time-average occupancy, which is what the byte fixed point charges.
+	Hit float64
+	// Upstream is the total upstream fetch rate (miss fetches plus
+	// refresh-ahead fetches), queries/s.
+	Upstream float64
+	// Prefetch is the refresh-ahead fetch rate alone, queries/s.
+	Prefetch float64
+	// Evict is the idle-eviction rate, events/s: cycles that end with the
+	// line going unreferenced past the characteristic time rather than
+	// expiring or refreshing.
+	Evict float64
+	// Cycle is the expected renewal cycle length (miss to miss), seconds.
+	Cycle float64
+}
+
+// CompositeLine solves one cache line under the full composite process:
+// Poisson arrivals at lambda, TTL expiry after ttl seconds, LRU-style
+// idle eviction when the line goes unreferenced for evictIdle seconds
+// (the Che characteristic time; +Inf disables), and refresh-ahead
+// prefetch in the last frac·T of the TTL window (0 disables).
+//
+// The expected hits from a fresh entry satisfy a renewal (Volterra)
+// integral equation in the remaining-TTL coordinate a:
+//
+//	h(a) = ∫₀^min(C,a) λe^{−λx} · value(a−x) dx
+//
+// where an arrival after gap x ≤ min(C, a) is a hit; it either lands in
+// the refresh window (a−x ≤ f·T: the entry refreshes, restarting at T)
+// or just ticks the clock down (value 1+h(a−x)). A gap exceeding C
+// evicts; one exceeding a expires. Writing h(a) = u(a) + v(a)·H* for the
+// unknown hits-from-fresh H* turns the refresh self-reference into a
+// linear solve: H* = u(T)/(1−v(T)), where v(T) is also the probability ρ
+// that a window ends in refresh rather than death. Per cycle there are
+// then H* hits, 1/(1−ρ) upstream fetches, and (by Wald) λ·E[cycle] =
+// H*+1 arrivals. The equation is integrated on a uniform grid with exact
+// exponential weights per sub-interval, so hot lines (λ·Δa ≫ 1) lose no
+// mass. grid ≤ 0 selects a default balancing cost and accuracy.
+func CompositeLine(lambda, ttl, evictIdle, frac float64, grid int) LineRates {
+	if lambda <= 0 || ttl <= 0 || evictIdle <= 0 {
+		return LineRates{Upstream: math.Max(lambda, 0)}
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// Idle eviction beyond the TTL never fires before expiry, and with no
+	// prefetch the closed forms are exact — skip the quadrature.
+	if evictIdle >= ttl {
+		if frac == 0 {
+			up := SteadyUpstream(lambda, ttl)
+			return LineRates{Hit: SteadyHit(lambda, ttl), Upstream: up, Cycle: 1 / up}
+		}
+		// Prefetch with a non-binding idle bound... except an idle gap
+		// longer than C inside the (1−f)T fresh window can still evict
+		// when C < (1−f)T. evictIdle ≥ ttl > (1−f)T rules that out.
+		p := PrefetchSteady(lambda, ttl, frac)
+		return LineRates{Hit: p.Hit, Upstream: p.Upstream, Prefetch: p.Prefetch, Cycle: 1 / p.Upstream}
+	}
+	if grid <= 0 {
+		grid = 192
+	}
+	da := ttl / float64(grid)
+	refresh := frac * ttl
+	u := make([]float64, grid+1)
+	v := make([]float64, grid+1)
+	// w(a) = P(the window ends in TTL expiry): reached only while a ≤ C by
+	// a gap outliving the remaining TTL, or recursively through ordinary
+	// hits. 1 − v(T) − w(T) is then the idle-eviction probability.
+	w := make([]float64, grid+1)
+	w[0] = 1 // zero TTL remaining: expires immediately
+	expAt := func(x float64) float64 { return math.Exp(-lambda * x) }
+	for j := 1; j <= grid; j++ {
+		a := float64(j) * da
+		xMax := math.Min(evictIdle, a)
+		// xSplit is where the arrival crosses into the refresh window
+		// (r = a − x ≤ f·T); beyond it the integrand is the constant 1.
+		xSplit := a - refresh
+		var su, sv, sw float64
+		// cSelf accumulates the weight the i=0 cell puts on the unknown
+		// u[j], v[j], w[j] themselves (x→0 means r→a): the equation is of
+		// the second kind there and must be solved implicitly — treating
+		// that mass as zero collapses hot lines (λ·da ≫ 1) to a constant.
+		var cSelf float64
+		for i := 0; float64(i)*da < xMax; i++ {
+			x0 := float64(i) * da
+			x1 := math.Min(x0+da, xMax)
+			cellHi := j - i     // grid index of r at x = x0
+			cellLo := j - i - 1 // grid index of r at x = x0+da
+			// Hit piece: x ∈ [x0, min(x1, xSplit)], integrand 1 + h(a−x)
+			// with h linear between the cell's grid values, weighted by the
+			// exact exponential density (zeroth and first moments), so hot
+			// lines lose neither mass nor tilt.
+			if p1 := math.Min(x1, xSplit); p1 > x0 {
+				e0, e1 := expAt(x0), expAt(p1)
+				w01 := e0 - e1
+				m01 := e0*(x0+1/lambda) - e1*(p1+1/lambda)
+				beta := (m01 - x0*w01) / da // weight on the cellLo value
+				alpha := w01 - beta         // weight on the cellHi value
+				su += w01 + beta*u[cellLo]
+				sv += beta * v[cellLo]
+				sw += beta * w[cellLo]
+				if cellHi == j {
+					cSelf += alpha
+				} else {
+					su += alpha * u[cellHi]
+					sv += alpha * v[cellHi]
+					sw += alpha * w[cellHi]
+				}
+			}
+			// Refresh piece: x ∈ [max(x0, xSplit), x1] — the hit refreshes
+			// the entry (value 1, restart marker), no recursion.
+			if p0 := math.Max(x0, xSplit); p0 < x1 {
+				wr := expAt(p0) - expAt(x1)
+				su += wr
+				sv += wr
+			}
+		}
+		if a <= evictIdle {
+			// No arrival within the whole remaining TTL: clean expiry.
+			sw += expAt(a)
+		}
+		u[j] = su / (1 - cSelf)
+		v[j] = sv / (1 - cSelf)
+		w[j] = sw / (1 - cSelf)
+	}
+	rho := v[grid]
+	if rho > 1-1e-9 {
+		rho = 1 - 1e-9
+	}
+	hits := u[grid] / (1 - rho)
+	cycle := (hits + 1) / lambda
+	// Deaths per cycle = 1; of the per-window outcomes {refresh ρ, expiry
+	// w(T), idle eviction 1−ρ−w(T)}, the death is an idle eviction with
+	// probability (1−ρ−w(T))/(1−ρ).
+	pEvict := (1 - rho - w[grid]) / (1 - rho)
+	if pEvict < 0 {
+		pEvict = 0
+	}
+	return LineRates{
+		Hit:      hits / (hits + 1),
+		Upstream: 1 / ((1 - rho) * cycle),
+		Prefetch: rho / ((1 - rho) * cycle),
+		Evict:    pEvict / cycle,
+		Cycle:    cycle,
+	}
+}

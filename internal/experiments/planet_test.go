@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"dnsttl/internal/compile"
+)
+
+// TestPlanetScaleTier runs the full compiled tier — including the
+// 100M-user day — and checks the physics the cells must show. The
+// acceptance budget is a 10M-user day under 30 s wall; the whole
+// 12-cell tier typically compiles and runs in ~1 s.
+func TestPlanetScaleTier(t *testing.T) {
+	start := time.Now()
+	r := PlanetScale()
+	wall := time.Since(start)
+	if wall > 60*time.Second {
+		t.Fatalf("tier took %v, want well under a minute", wall)
+	}
+	for _, tier := range []string{"1m", "10m", "100m"} {
+		var prevAmp float64
+		for i, ttl := range []uint32{30, 300, 3600} {
+			hit := r.Metrics["hit_"+tier+"_ttl"+itoa(int(ttl))]
+			amp := r.Metrics["amp_"+tier+"_ttl"+itoa(int(ttl))]
+			if hit <= 0 || hit >= 1 {
+				t.Errorf("%s ttl%d: hit rate %v outside (0,1)", tier, ttl, hit)
+			}
+			if amp <= 0 {
+				t.Errorf("%s ttl%d: amplification %v not positive", tier, ttl, amp)
+			}
+			// Longer TTLs shed authoritative load — the paper's core claim.
+			if i > 0 && amp >= prevAmp {
+				t.Errorf("%s: amplification did not fall from ttl %d (%v) to ttl %d (%v)",
+					tier, []uint32{30, 300, 3600}[i-1], prevAmp, ttl, amp)
+			}
+			prevAmp = amp
+		}
+		if r.Metrics["failed_"+tier+"_chaos"] <= 0 {
+			t.Errorf("%s chaos cell reported no failed queries during the outage", tier)
+		}
+		if ch, base := r.Metrics["hit_"+tier+"_chaos"], r.Metrics["hit_"+tier+"_ttl300"]; ch >= base {
+			t.Errorf("%s: chaos hit rate %v not below the undisturbed cell %v", tier, ch, base)
+		}
+	}
+	if tp := r.Metrics["throughput_user_seconds_per_wall_second"]; tp < 1e9 {
+		t.Errorf("throughput %v user-seconds/wall-second — the compiler should clear 1e9 easily", tp)
+	}
+}
+
+// TestPlanetScaleDeterministic pins the closed-form engine: two runs
+// must agree bit-for-bit on every metric except the wall-clock ones.
+func TestPlanetScaleDeterministic(t *testing.T) {
+	a, b := PlanetScale(), PlanetScale()
+	for k, av := range a.Metrics {
+		if k == "wall_seconds" || k == "throughput_user_seconds_per_wall_second" {
+			continue
+		}
+		if bv := b.Metrics[k]; av != bv {
+			t.Errorf("metric %s: %v != %v across runs", k, av, bv)
+		}
+	}
+}
+
+// TestPlanetScale10MUnder30s is the acceptance criterion stated on its
+// own: one 10M-user simulated day, wall-clocked.
+func TestPlanetScale10MUnder30s(t *testing.T) {
+	start := time.Now()
+	res, err := compile.CompileAndRun(planetSpec(1e7, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if wall > 30*time.Second {
+		t.Fatalf("10M-user day took %v, want < 30s", wall)
+	}
+	if res.VirtualSeconds != 86400 {
+		t.Errorf("virtual span %v, want 86400", res.VirtualSeconds)
+	}
+	if res.Users != 1e7 {
+		t.Errorf("users %v, want 1e7", res.Users)
+	}
+	t.Logf("10M-user day: %v wall, hit=%.4f amp=%.4f lines=%d",
+		wall, res.HitRate(), res.Amplification(), res.Lines)
+}

@@ -120,20 +120,38 @@ func pressureSpecs() []pressureSpec {
 	return specs
 }
 
-// pressureCell replays the workload against one grid point. Every cell uses
-// the same workload seed, so all cells face the identical query stream and
-// differ only in cache configuration.
-func pressureCell(spec pressureSpec, queries int, seed int64) PressureCell {
-	clock := simnet.NewVirtualClock()
-	net := simnet.NewNetwork(seed)
+// pressureWorld is one cell's testbed: clock, network, the two
+// authoritative servers, and the workload generator. The model-validation
+// probe (validate.go) builds the identical world to measure byte
+// overheads, which is why construction is factored out of pressureCell.
+type pressureWorld struct {
+	clock           *simnet.VirtualClock
+	net             *simnet.Network
+	rootAddr        netip.Addr
+	rootSrv, orgSrv *authoritative.Server
+	gen             *workload.Generator
+}
 
-	rootAddr := netip.MustParseAddr("192.88.31.1")
+// pressureRecord is the workload A record for name j, as served by the
+// zone — also what the model charges per cache entry (cache.EntryCharge
+// of its wire size).
+func pressureRecord(n dnswire.Name, j int, ttl uint32) dnswire.RR {
+	return dnswire.RR{Name: n, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+		TTL: ttl, Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{198, 19, byte(j >> 8), byte(j)})}}
+}
+
+func newPressureWorld(ttl uint32, seed int64) *pressureWorld {
+	w := &pressureWorld{
+		clock:    simnet.NewVirtualClock(),
+		net:      simnet.NewNetwork(seed),
+		rootAddr: netip.MustParseAddr("192.88.31.1"),
+	}
 	orgAddr := netip.MustParseAddr("192.88.31.2")
 	root := zone.New(dnswire.Root)
 	root.MustAdd(
 		dnswire.NewSOA(".", 86400, "a.root-servers.net.", "x.example.", 1, 1, 1, 1, 86400),
 		dnswire.NewNS(".", 518400, "a.root-servers.net"),
-		dnswire.NewA("a.root-servers.net", 518400, rootAddr.String()),
+		dnswire.NewA("a.root-servers.net", 518400, w.rootAddr.String()),
 		dnswire.NewNS("example.org", 172800, "ns1.example.org"),
 		dnswire.NewA("ns1.example.org", 172800, orgAddr.String()),
 	)
@@ -143,17 +161,26 @@ func pressureCell(spec pressureSpec, queries int, seed int64) PressureCell {
 		dnswire.NewNS("example.org", 86400, "ns1.example.org"),
 		dnswire.NewA("ns1.example.org", 86400, orgAddr.String()),
 	)
-	gen := workload.New(dnswire.NewName("example.org"), pressureNames, 1.0, pressureQPS, seed)
-	for j, n := range gen.Names {
-		org.MustAdd(dnswire.RR{Name: n, Type: dnswire.TypeA, Class: dnswire.ClassIN,
-			TTL: spec.ttl, Data: dnswire.A{Addr: netip.AddrFrom4([4]byte{198, 19, byte(j >> 8), byte(j)})}})
+	w.gen = workload.New(dnswire.NewName("example.org"), pressureNames, 1.0, pressureQPS, seed)
+	for j, n := range w.gen.Names {
+		org.MustAdd(pressureRecord(n, j, ttl))
 	}
-	rootSrv := authoritative.NewServer(dnswire.NewName("a.root-servers.net"), clock)
-	rootSrv.AddZone(root)
-	net.Attach(rootAddr, rootSrv)
-	orgSrv := authoritative.NewServer(dnswire.NewName("ns1.example.org"), clock)
-	orgSrv.AddZone(org)
-	net.Attach(orgAddr, orgSrv)
+	w.rootSrv = authoritative.NewServer(dnswire.NewName("a.root-servers.net"), w.clock)
+	w.rootSrv.AddZone(root)
+	w.net.Attach(w.rootAddr, w.rootSrv)
+	w.orgSrv = authoritative.NewServer(dnswire.NewName("ns1.example.org"), w.clock)
+	w.orgSrv.AddZone(org)
+	w.net.Attach(orgAddr, w.orgSrv)
+	return w
+}
+
+// pressureCell replays the workload against one grid point. Every cell uses
+// the same workload seed, so all cells face the identical query stream and
+// differ only in cache configuration.
+func pressureCell(spec pressureSpec, queries int, seed int64) PressureCell {
+	w := newPressureWorld(spec.ttl, seed)
+	clock, gen := w.clock, w.gen
+	rootSrv, orgSrv := w.rootSrv, w.orgSrv
 
 	pol := resolver.DefaultPolicy()
 	if spec.prefetch {
@@ -161,7 +188,7 @@ func pressureCell(spec pressureSpec, queries int, seed int64) PressureCell {
 		pol.PrefetchFraction = 0.5
 	}
 	res := resolver.New(netip.MustParseAddr("10.31.0.1"), pol,
-		net, clock, []netip.Addr{rootAddr}, seed)
+		w.net, clock, []netip.Addr{w.rootAddr}, seed)
 	ccfg := pol.CacheConfig()
 	ccfg.MaxBytes = spec.maxBytes
 	// An entry costs at least ~130 bytes here, so bytes bind well before

@@ -9,7 +9,7 @@ import (
 
 const (
 	pressureTestQueries = 4000
-	pressureTestSeed    = 42
+	pressureTestSeed    = 44
 )
 
 func pressureGoldenPath() string {

@@ -1,0 +1,106 @@
+package experiments
+
+import "testing"
+
+// modelTolerance is the acceptance bound: the compiled model must land
+// within half a hit-point of the simulated experiments.
+const modelTolerance = 0.005
+
+// TestModelValidationHitRate pins the compiler's exact cold-start
+// renewal arithmetic against the simulated hitrate sweep.
+func TestModelValidationHitRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated validation sweep")
+	}
+	v := ValidateHitRateModel(10000, 0, 42)
+	logValidation(t, v)
+	if v.MaxDelta() > modelTolerance {
+		t.Errorf("hitrate model max |Δ| = %.4f, want ≤ %.4f", v.MaxDelta(), modelTolerance)
+	}
+}
+
+// TestModelValidationFragmentation pins the topology lowering (private
+// thinning vs shared/sharded concentration) against the simulated farm
+// fragmentation grid.
+func TestModelValidationFragmentation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated validation sweep")
+	}
+	v := ValidateFragmentationModel(12000, 0, 42)
+	logValidation(t, v)
+	if v.MaxDelta() > modelTolerance {
+		t.Errorf("fragmentation model max |Δ| = %.4f, want ≤ %.4f", v.MaxDelta(), modelTolerance)
+	}
+}
+
+// TestModelValidationPressure pins the byte-bounded transient model
+// against the simulated eviction-pressure grid. One 16k-query simulated
+// cell still carries ±0.004 of binomial sampling noise (SE ≈
+// √(p(1−p)/n)), which is the same order as the tolerance itself — so
+// the simulated side is averaged over three seeds (the model is
+// deterministic and identical across them) and the MODEL-vs-mean error
+// is what the bound applies to. The per-seed grids are logged so a
+// regression is attributable cell by cell.
+func TestModelValidationPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated validation sweep")
+	}
+	seeds := []int64{44, 45, 46}
+	var runs []*ModelValidation
+	for _, seed := range seeds {
+		runs = append(runs, ValidatePressureModel(16000, 0, seed))
+	}
+	mean := &ModelValidation{Name: "pressure (3-seed simulated mean)"}
+	for i, row := range runs[0].Rows {
+		sim := 0.0
+		for _, v := range runs {
+			if v.Rows[i].Key != row.Key {
+				t.Fatalf("row order diverged across seeds: %q vs %q", v.Rows[i].Key, row.Key)
+			}
+			sim += v.Rows[i].Simulated
+		}
+		mean.Rows = append(mean.Rows, ModelRow{
+			Key: row.Key, Simulated: sim / float64(len(runs)), Compiled: row.Compiled,
+		})
+	}
+	logValidation(t, mean)
+	if mean.MaxDelta() > modelTolerance {
+		t.Errorf("pressure model max |Δ| = %.4f vs 3-seed mean, want ≤ %.4f",
+			mean.MaxDelta(), modelTolerance)
+	}
+	// And no single cell may drift beyond tolerance + the per-seed noise
+	// allowance (3 SE ≈ 0.011) on any individual seed — catches gross
+	// model breakage that seed-averaging could mask.
+	for _, v := range runs {
+		if v.MaxDelta() > modelTolerance+0.011 {
+			t.Errorf("single-seed pressure max |Δ| = %.4f, want ≤ %.4f", v.MaxDelta(), modelTolerance+0.011)
+		}
+	}
+}
+
+func logValidation(t *testing.T, v *ModelValidation) {
+	t.Helper()
+	t.Logf("%s: max |Δ| = %.4f", v.Name, v.MaxDelta())
+	for _, r := range v.Rows {
+		t.Logf("  %-28s sim=%.4f model=%.4f Δ=%+.4f", r.Key, r.Simulated, r.Compiled, r.Delta())
+	}
+}
+
+// TestModelValidationReport exercises the Report rendering used by the
+// CI smoke job.
+func TestModelValidationReport(t *testing.T) {
+	v := &ModelValidation{Name: "demo", Rows: []ModelRow{
+		{Key: "cell_a", Simulated: 0.5, Compiled: 0.502},
+		{Key: "cell_b", Simulated: 0.8, Compiled: 0.797},
+	}}
+	if got := v.MaxDelta(); got < 0.0029 || got > 0.0031 {
+		t.Errorf("MaxDelta = %v, want 0.003", got)
+	}
+	rep := v.Report()
+	if rep.Metrics["max_delta"] != v.MaxDelta() {
+		t.Error("report metric max_delta mismatch")
+	}
+	if rep.Metrics["delta_cell_b"] >= 0 {
+		t.Error("signed delta lost in report")
+	}
+}

@@ -16,6 +16,8 @@
 package population
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"net/netip"
 
@@ -80,6 +82,42 @@ func (m Mix) totalWeight() float64 {
 		t += p.Weight
 	}
 	return t
+}
+
+// Validate rejects mixes that only worked by accident of implicit
+// normalization: an empty mix, a zero/negative/non-finite weight, or a
+// total weight that is not positive. Pick tolerated these silently (an
+// empty mix fell back to a default profile, a zero-weight profile could
+// still be returned as the last-row fallback); the workload compiler
+// turns weights into arrival-rate shares, where such inputs must be
+// loud errors rather than skewed results.
+func (m Mix) Validate() error {
+	if len(m) == 0 {
+		return fmt.Errorf("population: empty mix")
+	}
+	for i, p := range m {
+		if math.IsNaN(p.Weight) || math.IsInf(p.Weight, 0) {
+			return fmt.Errorf("population: profile %d (%q) has non-finite weight %v", i, p.Name, p.Weight)
+		}
+		if p.Weight <= 0 {
+			return fmt.Errorf("population: profile %d (%q) has non-positive weight %v", i, p.Name, p.Weight)
+		}
+	}
+	return nil
+}
+
+// Shares returns each profile's normalized share of the population, in mix
+// order. It errors on any mix Validate rejects.
+func (m Mix) Shares() ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	total := m.totalWeight()
+	shares := make([]float64, len(m))
+	for i, p := range m {
+		shares[i] = p.Weight / total
+	}
+	return shares, nil
 }
 
 // Pick samples a profile proportionally to weight.

@@ -71,6 +71,59 @@ func TestPickEdgeCases(t *testing.T) {
 	}
 }
 
+func TestValidate(t *testing.T) {
+	ok := resolver.DefaultPolicy()
+	cases := []struct {
+		name string
+		mix  Mix
+		want bool // valid?
+	}{
+		{"default", DefaultMix(), true},
+		{"single", AllChildCentric(), true},
+		{"empty", Mix{}, false},
+		{"nil", nil, false},
+		{"zero-weight", Mix{{Name: "a", Weight: 0, Policy: ok}}, false},
+		{"negative-weight", Mix{{Name: "a", Weight: 1, Policy: ok}, {Name: "b", Weight: -0.5, Policy: ok}}, false},
+		{"nan-weight", Mix{{Name: "a", Weight: math.NaN(), Policy: ok}}, false},
+		{"inf-weight", Mix{{Name: "a", Weight: math.Inf(1), Policy: ok}}, false},
+	}
+	for _, c := range cases {
+		err := c.mix.Validate()
+		if c.want && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.want && err == nil {
+			t.Errorf("%s: Validate accepted an invalid mix", c.name)
+		}
+	}
+}
+
+func TestShares(t *testing.T) {
+	ok := resolver.DefaultPolicy()
+	m := Mix{{Name: "a", Weight: 3, Policy: ok}, {Name: "b", Weight: 1, Policy: ok}}
+	shares, err := m.Shares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 2 || math.Abs(shares[0]-0.75) > 1e-12 || math.Abs(shares[1]-0.25) > 1e-12 {
+		t.Errorf("shares = %v, want [0.75 0.25]", shares)
+	}
+	if _, err := (Mix{}).Shares(); err == nil {
+		t.Error("Shares on empty mix should error")
+	}
+	defShares, err := DefaultMix().Shares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range defShares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("default shares sum to %v", sum)
+	}
+}
+
 func TestProfilePoliciesDiffer(t *testing.T) {
 	m := DefaultMix()
 	byName := map[string]Profile{}

@@ -271,7 +271,7 @@ func (f *Forwarder) negTTLFrom(resp *dnswire.Message) uint32 {
 			break
 		}
 	}
-	return f.Policy.clampTTL(ttl)
+	return f.Policy.ClampTTL(ttl)
 }
 
 var (

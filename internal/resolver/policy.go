@@ -162,8 +162,10 @@ func (p Policy) CacheConfig() cache.Config {
 	}
 }
 
-// clampTTL applies the policy's cap and floor to a TTL.
-func (p Policy) clampTTL(ttl uint32) uint32 {
+// ClampTTL applies the policy's cap and floor to a TTL — the value this
+// resolver reports to clients. The workload compiler uses it to predict
+// served TTLs without instantiating a resolver.
+func (p Policy) ClampTTL(ttl uint32) uint32 {
 	if p.TTLCap > 0 && ttl > p.TTLCap {
 		ttl = p.TTLCap
 	}
@@ -171,6 +173,23 @@ func (p Policy) clampTTL(ttl uint32) uint32 {
 		ttl = p.TTLFloor
 	}
 	return ttl
+}
+
+// CacheLifetime is the number of seconds a record with authoritative TTL
+// ttl actually lives in this resolver's cache — the T in the Jung et al.
+// renewal model λT/(1+λT). A BIND-style cap (CapAtServe false) truncates
+// the stored TTL, so the cap bounds the lifetime; a Google-style serve
+// clamp (CapAtServe true) stores the full TTL and only clamps reported
+// values, so the lifetime is the uncapped TTL. The floor applies either
+// way, matching Policy.CacheConfig's MinTTL.
+func (p Policy) CacheLifetime(ttl uint32) uint32 {
+	if p.CapAtServe {
+		if ttl < p.TTLFloor {
+			return p.TTLFloor
+		}
+		return ttl
+	}
+	return p.ClampTTL(ttl)
 }
 
 func (p Policy) maxRetries() int {

@@ -715,7 +715,7 @@ func (r *Resolver) serverOrder(servers []netip.Addr) []netip.Addr {
 }
 
 // clampTTL applies the policy's cap and floor to a TTL reported to clients.
-func (r *Resolver) clampTTL(ttl uint32) uint32 { return r.Policy.clampTTL(ttl) }
+func (r *Resolver) clampTTL(ttl uint32) uint32 { return r.Policy.ClampTTL(ttl) }
 
 func (r *Resolver) id() uint16 {
 	r.mu.Lock()

@@ -212,7 +212,7 @@ func (r *Resolver) cacheNegative(resp *dnswire.Message, name dnswire.Name, qtype
 			break
 		}
 	}
-	ttl = r.Policy.clampTTL(ttl)
+	ttl = r.Policy.ClampTTL(ttl)
 	r.Cache.Put(cache.Entry{
 		Key:      cache.Key{Name: name, Type: qtype},
 		TTL:      ttl,

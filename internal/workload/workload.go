@@ -20,8 +20,9 @@ type Generator struct {
 	// Rate is the total arrival rate in queries per second.
 	Rate float64
 
-	probs []float64 // cumulative popularity
-	rng   *rand.Rand
+	masses []float64 // per-name popularity, most popular first
+	alias  *Alias    // O(1) name draw
+	rng    *rand.Rand
 }
 
 // New builds a generator over n names under the given base domain, with
@@ -39,39 +40,33 @@ func New(base dnswire.Name, n int, s, qps float64, seed int64) *Generator {
 		total += w
 	}
 	g.Names = make([]dnswire.Name, n)
-	g.probs = make([]float64, n)
-	acc := 0.0
+	g.masses = make([]float64, n)
 	for i := 0; i < n; i++ {
 		g.Names[i] = base.Child(fmt.Sprintf("w%04d", i))
-		acc += weights[i] / total
-		g.probs[i] = acc
+		g.masses[i] = weights[i] / total
 	}
+	g.alias = NewAlias(weights)
 	return g
 }
 
 // Popularity returns name i's probability mass.
 func (g *Generator) Popularity(i int) float64 {
-	if i == 0 {
-		return g.probs[0]
-	}
-	return g.probs[i] - g.probs[i-1]
+	return g.masses[i]
 }
 
+// Masses returns the per-name popularity vector, most popular first. The
+// workload compiler reads it to build per-name arrival rates; callers must
+// not mutate it.
+func (g *Generator) Masses() []float64 { return g.masses }
+
 // Next returns the interarrival gap to the next query and its name.
-// Gaps are exponential (Poisson process); names follow the Zipf weights.
+// Gaps are exponential (Poisson process); names follow the Zipf weights via
+// an O(1) alias-table draw. Each call consumes exactly one ExpFloat64 and
+// one Float64 from the RNG — the same consumption as the former
+// binary-search draw — so the gap stream is unchanged across that swap.
 func (g *Generator) Next() (time.Duration, dnswire.Name) {
 	gap := time.Duration(g.rng.ExpFloat64() / g.Rate * float64(time.Second))
-	x := g.rng.Float64()
-	lo, hi := 0, len(g.probs)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if g.probs[mid] < x {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return gap, g.Names[lo]
+	return gap, g.Names[g.alias.Draw(g.rng.Float64())]
 }
 
 // ExpectedHitRate computes the aggregate cache hit rate the Jung et al.

@@ -82,6 +82,50 @@ func TestExpectedHitRateMonotone(t *testing.T) {
 	}
 }
 
+// TestExpectedHitRateMatchesSimulatedCache replays the generator's own
+// query stream against a literal TTL cache (a map of expiry times on
+// virtual time) over a small grid of populations, rates and TTLs, and
+// requires the Jung et al. analytic prediction to land within 0.5 hit
+// points of the simulation. This is the workload-level end of the
+// analytic-vs-simulated tolerance harness the planet-scale compiler
+// validation builds on (internal/experiments TestCompiledModel*).
+func TestExpectedHitRateMatchesSimulatedCache(t *testing.T) {
+	grid := []struct {
+		names   int
+		qps     float64
+		ttl     uint32
+		queries int
+	}{
+		{names: 50, qps: 2, ttl: 60, queries: 200000},
+		{names: 50, qps: 2, ttl: 600, queries: 200000},
+		{names: 200, qps: 8, ttl: 30, queries: 300000},
+		{names: 200, qps: 8, ttl: 300, queries: 300000},
+		{names: 400, qps: 1, ttl: 3600, queries: 200000},
+	}
+	const tolerance = 0.005
+	for _, cell := range grid {
+		g := New(dnswire.NewName("example.org"), cell.names, 1.0, cell.qps, 11)
+		expiry := make(map[dnswire.Name]time.Duration, cell.names)
+		var now time.Duration
+		hits := 0
+		for q := 0; q < cell.queries; q++ {
+			gap, name := g.Next()
+			now += gap
+			if exp, ok := expiry[name]; ok && now < exp {
+				hits++
+			} else {
+				expiry[name] = now + time.Duration(cell.ttl)*time.Second
+			}
+		}
+		simulated := float64(hits) / float64(cell.queries)
+		predicted := g.ExpectedHitRate(cell.ttl)
+		if d := math.Abs(simulated - predicted); d > tolerance {
+			t.Errorf("names=%d qps=%g ttl=%d: simulated %.4f vs analytic %.4f (Δ %.4f > %.3f)",
+				cell.names, cell.qps, cell.ttl, simulated, predicted, d, tolerance)
+		}
+	}
+}
+
 func TestDegenerate(t *testing.T) {
 	g := New(dnswire.NewName("x.org"), 0, 1, 1, 4)
 	if len(g.Names) != 1 {
