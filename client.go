@@ -12,6 +12,7 @@ import (
 	"dnsttl/internal/cache"
 	"dnsttl/internal/farm"
 	"dnsttl/internal/obs"
+	"dnsttl/internal/qlog"
 	"dnsttl/internal/resolver"
 	"dnsttl/internal/simnet"
 	"dnsttl/internal/transport"
@@ -117,6 +118,11 @@ type ClientConfig struct {
 	// Tracer, when non-nil, records each resolution's lifecycle as a span
 	// tree retrievable by name (the /trace endpoint, dnsq -trace).
 	Tracer *Tracer
+	// QueryLog, when non-nil, captures one structured record per upstream
+	// exchange the client's resolver(s) perform (see NewQueryLog and the
+	// Logger's Tap method). Nil disables capture at the cost of one pointer
+	// check per exchange.
+	QueryLog *QueryLogTap
 }
 
 // Registry is the telemetry metrics registry shared by the resolver, farm,
@@ -141,6 +147,61 @@ func NewTracer(clock Clock) *Tracer { return obs.NewTracer(clock) }
 func ServeMetrics(addr string, reg *Registry, tr *Tracer) (string, func() error, error) {
 	return obs.Serve(addr, reg, tr)
 }
+
+// MetricsHistory is a ring of timestamped registry snapshots backing
+// /metrics?window= rate queries (see internal/obs.History).
+type MetricsHistory = obs.History
+
+// NewMetricsHistory builds a snapshot ring over reg holding up to capacity
+// samples (0 means 360).
+func NewMetricsHistory(reg *Registry, capacity int) *MetricsHistory {
+	return obs.NewHistory(reg, capacity)
+}
+
+// ServeMetricsWith is ServeMetrics plus a MetricsHistory enabling windowed
+// /metrics?window= queries (hist may be nil).
+func ServeMetricsWith(addr string, reg *Registry, tr *Tracer, hist *MetricsHistory) (string, func() error, error) {
+	return obs.ServeWith(addr, reg, tr, hist)
+}
+
+// QueryLog is the structured query-log pipeline: an async lock-free ring
+// feeding JSONL or binary size-rotated log files (see internal/qlog).
+type QueryLog = qlog.Logger
+
+// QueryLogConfig parameterizes NewQueryLog.
+type QueryLogConfig = qlog.Config
+
+// QueryLogTap is a transport-labeled capture handle produced by
+// (*QueryLog).Tap; ClientConfig and Server.AttachQueryLog accept one.
+type QueryLogTap = qlog.Tap
+
+// QueryLogRecord is one captured query-log event.
+type QueryLogRecord = qlog.Record
+
+// NewQueryLog opens a structured query log (see QueryLogConfig for the
+// rotation, sampling, and encoding knobs). Close it to flush.
+func NewQueryLog(cfg QueryLogConfig) (*QueryLog, error) { return qlog.New(cfg) }
+
+// ReadQueryLog decodes every record across the given query-log files
+// (auto-detecting JSONL vs binary), returning the records and the count of
+// undecodable entries.
+func ReadQueryLog(paths ...string) ([]QueryLogRecord, int, error) { return qlog.ReadAll(paths...) }
+
+// QueryLogFiles lists a rotated query-log set oldest-first: base.N … base.
+func QueryLogFiles(base string) ([]string, error) { return qlog.RotatedSet(base) }
+
+// QueryLogFormat selects the query-log on-disk encoding.
+type QueryLogFormat = qlog.Format
+
+// QueryLogPointMask selects which capture points a query log records.
+type QueryLogPointMask = qlog.PointMask
+
+// ParseQueryLogFormat maps "jsonl" or "binary" to a QueryLogFormat.
+func ParseQueryLogFormat(s string) (QueryLogFormat, error) { return qlog.ParseFormat(s) }
+
+// ParseQueryLogPoints parses a comma list of capture points — "client",
+// "response", "upstream", or "all" — into a QueryLogPointMask.
+func ParseQueryLogPoints(s string) (QueryLogPointMask, error) { return qlog.ParsePointMask(s) }
 
 // FarmTopology selects the farm cache design; see the Farm* constants.
 type FarmTopology = farm.Topology
@@ -219,6 +280,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			Seed:          cfg.Seed,
 			Registry:      cfg.Registry,
 			Tracer:        cfg.Tracer,
+			QueryLog:      cfg.QueryLog,
 		}, netip.MustParseAddr("127.0.0.1"), cfg.Net, cfg.Clock, cfg.Roots)
 		return &Client{f: f}, nil
 	}
@@ -238,6 +300,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		cache.Instrument(cfg.Registry, "cache", r.Cache.Stats)
 	}
 	r.Tracer = cfg.Tracer
+	r.QLog = cfg.QueryLog
 	return &Client{r: r}, nil
 }
 
@@ -350,6 +413,11 @@ func (s *Server) QueryCount() uint64 { return s.s.QueryCount() }
 // Instrument mirrors the server's query counters into reg (auth.queries,
 // auth.referrals, auth.nxdomain, auth.refused); nil detaches.
 func (s *Server) Instrument(reg *Registry) { s.s.Instrument(reg) }
+
+// AttachQueryLog captures one structured response-out record per handled
+// query through tap — the paper's §3.4 authoritative-side capture. A nil
+// tap detaches.
+func (s *Server) AttachQueryLog(tap *QueryLogTap) { s.s.QLog = tap }
 
 // Close stops all listening transports.
 func (s *Server) Close() error {

@@ -27,10 +27,14 @@ func (z *zoneFlags) Set(v string) error {
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:5353", "UDP listen address")
-		name    = flag.String("name", "ns1.example.org", "server's own name")
-		metrics = flag.String("metrics", "", "HTTP address for /metrics introspection (empty = off)")
-		zones   zoneFlags
+		listen       = flag.String("listen", "127.0.0.1:5353", "UDP listen address")
+		name         = flag.String("name", "ns1.example.org", "server's own name")
+		metrics      = flag.String("metrics", "", "HTTP address for /metrics introspection (empty = off)")
+		qlogPath     = flag.String("qlog", "", "structured query-log file; rotations shift to FILE.1.. (empty = off)")
+		qlogFormat   = flag.String("qlog-format", "jsonl", "query-log encoding: jsonl or binary")
+		qlogMaxBytes = flag.Int64("qlog-max-bytes", 0, "rotate the query log past this size (0 = 64 MiB)")
+		qlogFiles    = flag.Int("qlog-files", 0, "rotated query-log files kept, active included (0 = 4)")
+		zones        zoneFlags
 	)
 	flag.Var(&zones, "zone", "origin=path to a master file (repeatable)")
 	flag.Parse()
@@ -59,6 +63,32 @@ func main() {
 		srv.AddZone(z)
 		fmt.Printf("loaded zone %s from %s\n", origin, path)
 	}
+	var reg *dnsttl.Registry
+	if *metrics != "" {
+		reg = dnsttl.NewRegistry(nil)
+		srv.Instrument(reg)
+	}
+	if *qlogPath != "" {
+		format, err := dnsttl.ParseQueryLogFormat(*qlogFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "authserver:", err)
+			os.Exit(2)
+		}
+		qlogger, err := dnsttl.NewQueryLog(dnsttl.QueryLogConfig{
+			Path:     *qlogPath,
+			Format:   format,
+			MaxBytes: *qlogMaxBytes,
+			MaxFiles: *qlogFiles,
+			Registry: reg,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "authserver: qlog:", err)
+			os.Exit(1)
+		}
+		defer qlogger.Close()
+		srv.AttachQueryLog(qlogger.Tap("udp"))
+		fmt.Printf("query log: %s (%s)\n", *qlogPath, format)
+	}
 	addr, err := srv.ListenUDP(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "authserver:", err)
@@ -66,8 +96,6 @@ func main() {
 	}
 	fmt.Printf("serving on udp://%s\n", addr)
 	if *metrics != "" {
-		reg := dnsttl.NewRegistry(nil)
-		srv.Instrument(reg)
 		bound, closeMetrics, err := dnsttl.ServeMetrics(*metrics, reg, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "authserver: metrics:", err)

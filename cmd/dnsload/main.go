@@ -41,10 +41,14 @@ func main() {
 		timeout     = flag.Duration("timeout", 3*time.Second, "per-query timeout")
 		insecure    = flag.Bool("insecure", false, "skip TLS verification for dot/doh (self-signed test certs)")
 		jsonOut     = flag.String("json", "", "write the result as JSON to this file ('-' = stdout)")
+		out         = flag.String("out", "text", "stdout summary format: text or json (json implies -quiet)")
 		failOnError = flag.Bool("fail-on-error", false, "exit 1 if the run saw any protocol error")
 		quiet       = flag.Bool("quiet", false, "suppress the human-readable summary")
 	)
 	flag.Parse()
+	if *out != "text" && *out != "json" {
+		fatal(fmt.Errorf("-out must be text or json, not %q", *out))
+	}
 
 	kind, err := dnsttl.ParseTransportKind(*trans)
 	if err != nil {
@@ -94,23 +98,28 @@ func main() {
 		fatal(err)
 	}
 
-	if !*quiet {
+	if *out == "text" && !*quiet {
 		fmt.Print(res)
 		snap := reg.Snapshot()
 		fmt.Printf("  pool: %d dials, %d reuses, %d tls handshakes, %d tcp fallbacks\n",
 			snap.Counters[transport.MetricDials], snap.Counters[transport.MetricReuses],
 			snap.Counters[transport.MetricHandshakes], snap.Counters[transport.MetricTCPFallbacks])
 	}
-	if *jsonOut != "" {
+	if *out == "json" || *jsonOut != "" {
 		enc, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
 		enc = append(enc, '\n')
-		if *jsonOut == "-" {
+		// -out json puts the summary on stdout; -json FILE additionally (or
+		// alternatively) writes it to a file, '-' meaning stdout once.
+		if *out == "json" || *jsonOut == "-" {
 			os.Stdout.Write(enc)
-		} else if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
-			fatal(err)
+		}
+		if *jsonOut != "" && *jsonOut != "-" {
+			if err := os.WriteFile(*jsonOut, enc, 0o644); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	if *failOnError && res.Errors > 0 {

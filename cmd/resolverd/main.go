@@ -58,6 +58,14 @@ func main() {
 		listenDoH     = flag.String("listen-doh", "", "DNS-over-HTTPS listen address for clients (empty = off)")
 		tlsCert       = flag.String("tls-cert", "", "TLS certificate file for -listen-dot/-listen-doh (empty = ephemeral self-signed)")
 		tlsKey        = flag.String("tls-key", "", "TLS key file for -listen-dot/-listen-doh")
+		qlogPath      = flag.String("qlog", "", "structured query-log file; rotations shift to FILE.1.. (empty = off)")
+		qlogFormat    = flag.String("qlog-format", "jsonl", "query-log encoding: jsonl or binary")
+		qlogMaxBytes  = flag.Int64("qlog-max-bytes", 0, "rotate the query log past this size (0 = 64 MiB)")
+		qlogFiles     = flag.Int("qlog-files", 0, "rotated query-log files kept, active included (0 = 4)")
+		qlogSample    = flag.Int("qlog-sample", 0, "keep 1 query-log record in N (0 or 1 = all)")
+		qlogClientMod = flag.Int("qlog-client-mod", 0, "keep only clients hashing to 0 mod M, complete per-client streams (0 or 1 = all)")
+		qlogPoints    = flag.String("qlog-points", "all", "capture points to log: comma list of client,response,upstream, or all")
+		metricsEvery  = flag.Duration("metrics-window-every", 10*time.Second, "snapshot period backing /metrics?window= rate queries")
 	)
 	flag.Parse()
 	if *roots == "" {
@@ -117,6 +125,35 @@ func main() {
 		cfg.Registry = dnsttl.NewRegistry(nil)
 		cfg.Tracer = dnsttl.NewTracer(nil)
 	}
+	var qlogger *dnsttl.QueryLog
+	if *qlogPath != "" {
+		format, err := dnsttl.ParseQueryLogFormat(*qlogFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resolverd:", err)
+			os.Exit(2)
+		}
+		points, err := dnsttl.ParseQueryLogPoints(*qlogPoints)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resolverd:", err)
+			os.Exit(2)
+		}
+		qlogger, err = dnsttl.NewQueryLog(dnsttl.QueryLogConfig{
+			Path:         *qlogPath,
+			Format:       format,
+			MaxBytes:     *qlogMaxBytes,
+			MaxFiles:     *qlogFiles,
+			SampleN:      *qlogSample,
+			PerClientMod: *qlogClientMod,
+			Points:       points,
+			Registry:     cfg.Registry,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resolverd: qlog:", err)
+			os.Exit(1)
+		}
+		defer qlogger.Close()
+		fmt.Printf("query log: %s (%s)\n", *qlogPath, format)
+	}
 	kind, err := dnsttl.ParseTransportKind(*trans)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "resolverd:", err)
@@ -158,12 +195,15 @@ func main() {
 		cfg.LocalRoot = z
 		fmt.Printf("mirrored root zone: %d records\n", z.RecordCount())
 	}
+	// The upstream tap is labeled with the upstream transport; the
+	// client-facing taps are created per listener by RecursiveServer.
+	cfg.QueryLog = qlogger.Tap(kind.String())
 	client, err := dnsttl.NewClient(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "resolverd:", err)
 		os.Exit(1)
 	}
-	rs := &dnsttl.RecursiveServer{Client: client}
+	rs := &dnsttl.RecursiveServer{Client: client, QueryLog: qlogger}
 	addr, err := rs.ListenUDP(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "resolverd:", err)
@@ -214,7 +254,10 @@ func main() {
 		}
 	}
 	if *metrics != "" {
-		bound, closeMetrics, err := dnsttl.ServeMetrics(*metrics, cfg.Registry, cfg.Tracer)
+		hist := dnsttl.NewMetricsHistory(cfg.Registry, 0)
+		hist.Start(*metricsEvery)
+		defer hist.Stop()
+		bound, closeMetrics, err := dnsttl.ServeMetricsWith(*metrics, cfg.Registry, cfg.Tracer, hist)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "resolverd: metrics:", err)
 			os.Exit(1)

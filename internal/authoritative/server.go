@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dnsttl/internal/dnswire"
+	"dnsttl/internal/qlog"
 	"dnsttl/internal/simnet"
 	"dnsttl/internal/zone"
 
@@ -42,6 +43,10 @@ type Server struct {
 	// Obs, when non-nil, mirrors the query counters into the telemetry
 	// plane (see Instrument); nil costs one pointer check per query.
 	Obs *Metrics
+	// QLog, when non-nil, emits one structured response-out record per
+	// handled query — the authoritative-side capture the paper's §3.4
+	// passive methodology collects. Nil costs one pointer check per query.
+	QLog *qlog.Tap
 
 	mu       sync.RWMutex
 	zones    map[dnswire.Name]*zone.Zone
@@ -276,6 +281,13 @@ func (s *Server) maybeRotate(rrs []dnswire.RR) []dnswire.RR {
 func (s *Server) logQuery(from netip.Addr, q dnswire.Question, resp *dnswire.Message) {
 	if m := s.Obs; m != nil {
 		m.observe(resp)
+	}
+	if t := s.QLog; t != nil {
+		var ttl uint32
+		if len(resp.Answer) > 0 {
+			ttl = resp.Answer[0].TTL
+		}
+		t.ResponseOut(from, q.Name, q.Type, resp.Header.RCode, ttl, qlog.OutcomeNone, 0)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -22,6 +22,7 @@ import (
 	"dnsttl/internal/cache"
 	"dnsttl/internal/dnswire"
 	"dnsttl/internal/obs"
+	"dnsttl/internal/qlog"
 	"dnsttl/internal/resolver"
 	"dnsttl/internal/simnet"
 	"dnsttl/internal/zone"
@@ -102,6 +103,10 @@ type Config struct {
 	// Tracer, when non-nil, records every frontend resolution as a span
 	// tree retrievable via /trace.
 	Tracer *obs.Tracer
+	// QueryLog, when non-nil, is handed to every frontend so each upstream
+	// exchange emits one qlog record (attributed per frontend by source
+	// address).
+	QueryLog *qlog.Tap
 }
 
 func (c Config) frontends() int {
@@ -171,6 +176,7 @@ func New(cfg Config, addr netip.Addr, net simnet.Exchanger, clock simnet.Clock, 
 		r.LocalRootZone = cfg.LocalRoot
 		r.Obs = met
 		r.Tracer = cfg.Tracer
+		r.QLog = cfg.QueryLog
 		if f.store != nil {
 			r.Cache = f.store
 		} else if cfg.CacheCapacity > 0 || cfg.CacheBytes > 0 || cfg.Eviction != cache.EvictFIFO {

@@ -1,25 +1,63 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // NewHandler builds the live-introspection mux both daemons mount:
 //
-//	/metrics        expvar-style JSON snapshot of the registry
-//	/trace          list of retained trace names
-//	/trace?name=N   rendered span tree of the last resolution of N
+//	/metrics              expvar-style JSON snapshot of the registry
+//	/metrics?format=prom  Prometheus text exposition (also via Accept:
+//	                      text/plain); JSON stays the default
+//	/metrics?window=30s   windowed delta (rates, delta histograms) when a
+//	                      History is attached (NewHandlerWith)
+//	/trace                list of retained trace names
+//	/trace?name=N         rendered span tree of the last resolution of N
 //
 // Either argument may be nil; the corresponding endpoint then reports that
 // the facility is disabled.
 func NewHandler(reg *Registry, tr *Tracer) http.Handler {
+	return NewHandlerWith(reg, tr, nil)
+}
+
+// NewHandlerWith is NewHandler plus an optional History backing
+// /metrics?window= queries.
+func NewHandlerWith(reg *Registry, tr *Tracer, hist *History) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		if reg == nil {
 			http.Error(w, "metrics disabled", http.StatusNotFound)
+			return
+		}
+		if win := req.URL.Query().Get("window"); win != "" {
+			d, err := time.ParseDuration(win)
+			if err != nil || d <= 0 {
+				http.Error(w, fmt.Sprintf("bad window %q (want a positive Go duration)", win), http.StatusBadRequest)
+				return
+			}
+			if hist == nil {
+				http.Error(w, "windowed metrics disabled (no history attached)", http.StatusNotFound)
+				return
+			}
+			delta, ok := hist.Window(d)
+			if !ok {
+				http.Error(w, "no baseline snapshot retained yet", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(delta)
+			return
+		}
+		if wantsPrometheus(req) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.WritePrometheusText(w)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -62,15 +100,38 @@ func NewHandler(reg *Registry, tr *Tracer) http.Handler {
 	return mux
 }
 
+// wantsPrometheus decides the /metrics representation: ?format=prom (or
+// "prometheus"/"text") selects the text exposition, as does an Accept
+// header preferring text/plain. JSON remains the default so existing
+// scrapers keep working.
+func wantsPrometheus(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "prom", "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := req.Header.Get("Accept")
+	if accept == "" || strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain")
+}
+
 // Serve binds addr and serves the introspection handler until the returned
 // close function is called. It returns the bound address, so addr may use
 // port 0 in tests.
 func Serve(addr string, reg *Registry, tr *Tracer) (bound string, closeFn func() error, err error) {
+	return ServeWith(addr, reg, tr, nil)
+}
+
+// ServeWith is Serve plus an optional History for /metrics?window=.
+func ServeWith(addr string, reg *Registry, tr *Tracer, hist *History) (bound string, closeFn func() error, err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: NewHandler(reg, tr)}
+	srv := &http.Server{Handler: NewHandlerWith(reg, tr, hist)}
 	go func() {
 		if serveErr := srv.Serve(ln); serveErr != nil && !strings.Contains(serveErr.Error(), "closed") {
 			_ = serveErr

@@ -198,8 +198,19 @@ type HistogramSnapshot struct {
 }
 
 // Snapshot copies the histogram's state and computes p50/p90/p99.
-// Concurrent Observes may land between field reads; the result is still a
-// plausible histogram (quantiles derive from the copied buckets alone).
+//
+// Consistency under concurrent Observe: the bucket array is copied first
+// and Count is derived from that copy, so Count always equals the sum of
+// the reported buckets. Observe publishes bucket → count → sum → extremes,
+// which means a racing snapshot can read a Sum or Min/Max that lags (or
+// leads) the copied buckets by the handful of observations in flight. We
+// repair rather than lock: Min/Max fall back to the populated buckets'
+// bounds while the extreme cells are still at their ±Inf seeds, and Sum is
+// clamped into [Count·Min, Count·Max] so the implied mean always lies
+// within the observed range. The tolerance is therefore: Count and the
+// buckets are exactly consistent; Sum is exact when quiescent and off by
+// at most the in-flight observations' values (bounded by the clamp) under
+// contention. TestSnapshotRace pins this.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	if h == nil {
 		return HistogramSnapshot{}
@@ -218,6 +229,44 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	s.Sum = math.Float64frombits(h.sum.Load())
 	s.Min = math.Float64frombits(h.min.Load())
 	s.Max = math.Float64frombits(h.max.Load())
+	// A snapshot racing the very first observations can catch the extreme
+	// cells before they move off their ±Inf seeds (Observe publishes them
+	// last). Fall back to the populated buckets' bounds — ±Inf must never
+	// escape (it breaks encoding/json) and quantile clamping needs finite
+	// extremes.
+	if math.IsInf(s.Min, 0) || math.IsInf(s.Max, 0) {
+		lo := math.Inf(1)
+		hi := 0.0
+		for i, n := range counts {
+			if n == 0 {
+				continue
+			}
+			blo, bhi := bucketBounds(i)
+			if blo < lo {
+				lo = blo
+			}
+			if math.IsInf(bhi, 1) {
+				bhi = math.MaxFloat64
+			}
+			if bhi > hi {
+				hi = bhi
+			}
+		}
+		if math.IsInf(s.Min, 0) {
+			s.Min = lo
+		}
+		if math.IsInf(s.Max, 0) {
+			s.Max = hi
+		}
+	}
+	// Clamp Sum so the implied mean stays within [Min, Max] even when the
+	// sum cell lags the copied buckets.
+	if lo := float64(total) * s.Min; s.Sum < lo {
+		s.Sum = lo
+	}
+	if hi := float64(total) * s.Max; s.Sum > hi {
+		s.Sum = hi
+	}
 	for i, n := range counts {
 		if n == 0 {
 			continue

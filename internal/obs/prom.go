@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// promName sanitizes a registry metric name ("resolver.cache.hits") into
+// the Prometheus exposition charset ("resolver_cache_hits"): every rune
+// outside [a-zA-Z0-9_] becomes '_', and a leading digit gains a '_'
+// prefix. The mapping is stable, so dashboards can be written against it.
+func promName(name string) string {
+	b := make([]byte, 0, len(name)+1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			c = '_'
+		}
+		if i == 0 && c >= '0' && c <= '9' {
+			b = append(b, '_')
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+// appendPromFloat renders v the way the exposition format expects:
+// "+Inf"/"-Inf"/"NaN" spellings, shortest float otherwise.
+func appendPromFloat(b []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	case math.IsNaN(v):
+		return append(b, "NaN"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): every metric gets a # TYPE line, histograms
+// expose cumulative le-labeled buckets plus _sum and _count, and names are
+// emitted in sorted order so output is deterministic.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b []byte
+
+	counterNames := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		counterNames = append(counterNames, n)
+	}
+	sort.Strings(counterNames)
+	for _, n := range counterNames {
+		pn := promName(n)
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " counter\n"...)
+		b = append(b, pn...)
+		b = append(b, ' ')
+		b = strconv.AppendUint(b, s.Counters[n], 10)
+		b = append(b, '\n')
+	}
+
+	gaugeNames := make([]string, 0, len(s.Gauges))
+	for n := range s.Gauges {
+		gaugeNames = append(gaugeNames, n)
+	}
+	sort.Strings(gaugeNames)
+	for _, n := range gaugeNames {
+		pn := promName(n)
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " gauge\n"...)
+		b = append(b, pn...)
+		b = append(b, ' ')
+		b = appendPromFloat(b, s.Gauges[n])
+		b = append(b, '\n')
+	}
+
+	histNames := make([]string, 0, len(s.Histograms))
+	for n := range s.Histograms {
+		histNames = append(histNames, n)
+	}
+	sort.Strings(histNames)
+	for _, n := range histNames {
+		h := s.Histograms[n]
+		pn := promName(n)
+		b = append(b, "# TYPE "...)
+		b = append(b, pn...)
+		b = append(b, " histogram\n"...)
+		cum := uint64(0)
+		for _, bk := range h.Buckets {
+			cum += bk.Count
+			// The overflow bucket's upper bound is +Inf; the closing
+			// le="+Inf" series below covers it, so skip it here to keep
+			// the series unique.
+			if bk.Hi == math.MaxFloat64 || math.IsInf(bk.Hi, 1) {
+				continue
+			}
+			b = append(b, pn...)
+			b = append(b, `_bucket{le="`...)
+			b = appendPromFloat(b, bk.Hi)
+			b = append(b, `"} `...)
+			b = strconv.AppendUint(b, cum, 10)
+			b = append(b, '\n')
+		}
+		b = append(b, pn...)
+		b = append(b, `_bucket{le="+Inf"} `...)
+		b = strconv.AppendUint(b, h.Count, 10)
+		b = append(b, '\n')
+		b = append(b, pn...)
+		b = append(b, "_sum "...)
+		b = appendPromFloat(b, h.Sum)
+		b = append(b, '\n')
+		b = append(b, pn...)
+		b = append(b, "_count "...)
+		b = strconv.AppendUint(b, h.Count, 10)
+		b = append(b, '\n')
+	}
+
+	_, err := w.Write(b)
+	return err
+}
+
+// WritePrometheusText snapshots the registry and writes the exposition.
+func (r *Registry) WritePrometheusText(w io.Writer) error {
+	return WritePrometheus(w, r.Snapshot())
+}

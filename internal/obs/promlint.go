@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition is a self-contained, stdlib-only analogue of
+// `promtool check metrics`: it parses a Prometheus text-exposition stream
+// and returns every violation found. An empty slice means the exposition
+// is clean. Checks:
+//
+//   - line syntax: "name value", "name{labels} value", or "# TYPE/HELP …"
+//   - metric and label names restricted to the exposition charset
+//   - sample values parse as Go floats (Inf/NaN spellings included)
+//   - every sample's base name is covered by a preceding # TYPE line
+//   - no duplicate # TYPE lines and no duplicate series
+//   - histogram invariants: _bucket cumulative counts are monotonically
+//     non-decreasing in le order, an le="+Inf" bucket exists and equals
+//     _count, and _sum/_count are present
+func LintExposition(r io.Reader) []string {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	types := map[string]string{} // base name → declared type
+	seen := map[string]bool{}    // full series (name+labels) → emitted
+	type histState struct {
+		buckets map[float64]uint64 // le → cumulative count
+		sum     *float64
+		count   *uint64
+	}
+	hists := map[string]*histState{}
+	hist := func(base string) *histState {
+		h := hists[base]
+		if h == nil {
+			h = &histState{buckets: map[float64]uint64{}}
+			hists[base] = h
+		}
+		return h
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+				addf("line %d: unknown comment form %q (want # TYPE or # HELP)", lineNo, line)
+				continue
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					addf("line %d: malformed TYPE line %q", lineNo, line)
+					continue
+				}
+				name, typ := fields[2], fields[3]
+				if !validMetricName(name) {
+					addf("line %d: invalid metric name %q in TYPE line", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					addf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					addf("line %d: duplicate TYPE line for %q", lineNo, name)
+				}
+				types[name] = typ
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			addf("line %d: %v", lineNo, err)
+			continue
+		}
+		if !validMetricName(name) {
+			addf("line %d: invalid metric name %q", lineNo, name)
+			continue
+		}
+		series := name + "{" + labels + "}"
+		if seen[series] {
+			addf("line %d: duplicate series %s", lineNo, series)
+		}
+		seen[series] = true
+
+		base, suffix := splitHistogramSuffix(name)
+		declared, ok := types[name]
+		if !ok && suffix != "" {
+			declared, ok = types[base]
+		}
+		if !ok {
+			addf("line %d: sample %q has no preceding # TYPE line", lineNo, name)
+			continue
+		}
+		if declared != "histogram" && declared != "summary" {
+			continue
+		}
+		switch suffix {
+		case "_bucket":
+			le, lerr := leLabel(labels)
+			if lerr != nil {
+				addf("line %d: %v", lineNo, lerr)
+				continue
+			}
+			cum := uint64(value)
+			if float64(cum) != value || value < 0 {
+				addf("line %d: bucket count %v is not a non-negative integer", lineNo, value)
+			}
+			hist(base).buckets[le] = cum
+		case "_sum":
+			v := value
+			hist(base).sum = &v
+		case "_count":
+			c := uint64(value)
+			if float64(c) != value || value < 0 {
+				addf("line %d: _count %v is not a non-negative integer", lineNo, value)
+			}
+			hist(base).count = &c
+		default:
+			addf("line %d: histogram %q sample lacks _bucket/_sum/_count suffix", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		addf("read error: %v", err)
+	}
+
+	// Cross-line histogram invariants, in sorted order for determinism.
+	histNames := make([]string, 0, len(hists))
+	for n := range hists {
+		histNames = append(histNames, n)
+	}
+	sort.Strings(histNames)
+	for _, n := range histNames {
+		h := hists[n]
+		if types[n] != "histogram" {
+			continue
+		}
+		if h.sum == nil {
+			addf("histogram %q: missing _sum", n)
+		}
+		if h.count == nil {
+			addf("histogram %q: missing _count", n)
+		}
+		les := make([]float64, 0, len(h.buckets))
+		for le := range h.buckets {
+			les = append(les, le)
+		}
+		sort.Float64s(les)
+		prev := uint64(0)
+		hasInf := false
+		for _, le := range les {
+			c := h.buckets[le]
+			if c < prev {
+				addf("histogram %q: bucket le=%v count %d below preceding bucket %d", n, le, c, prev)
+			}
+			prev = c
+			if le > 1e308 { // +Inf sorts last
+				hasInf = true
+				if h.count != nil && c != *h.count {
+					addf("histogram %q: le=\"+Inf\" bucket %d != _count %d", n, c, *h.count)
+				}
+			}
+		}
+		if !hasInf {
+			addf("histogram %q: missing le=\"+Inf\" bucket", n)
+		}
+	}
+	return problems
+}
+
+// validMetricName checks the exposition-format metric name charset.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSampleLine splits "name{labels} value [timestamp]" into parts.
+func parseSampleLine(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		k := strings.IndexAny(rest, " \t")
+		if k < 0 {
+			return "", "", 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = rest[:k]
+		rest = strings.TrimSpace(rest[k:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("sample %q has %d value fields, want 1-2", line, len(fields))
+	}
+	v, perr := strconv.ParseFloat(fields[0], 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("sample value %q does not parse: %v", fields[0], perr)
+	}
+	return name, labels, v, nil
+}
+
+// splitHistogramSuffix returns the base name and the recognized histogram
+// suffix ("" when none).
+func splitHistogramSuffix(name string) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) {
+			return strings.TrimSuffix(name, s), s
+		}
+	}
+	return name, ""
+}
+
+// leLabel extracts the le="…" value from a bucket's label set.
+func leLabel(labels string) (float64, error) {
+	for _, part := range strings.Split(labels, ",") {
+		part = strings.TrimSpace(part)
+		if !strings.HasPrefix(part, "le=") {
+			continue
+		}
+		v := strings.TrimPrefix(part, "le=")
+		v = strings.Trim(v, `"`)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("le label %q does not parse: %v", v, err)
+		}
+		return f, nil
+	}
+	return 0, fmt.Errorf("bucket labels %q lack le", labels)
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotRace pins the documented Snapshot consistency contract while
+// observations race the snapshot: Count equals the bucket total, Sum
+// equals Count·v exactly when every observer writes the same value v (the
+// clamp makes this an identity, not an approximation), the extremes stay
+// finite, and quantiles stay within [Min, Max]. Run under -race.
+func TestSnapshotRace(t *testing.T) {
+	const v = 8.0 // exact in float64, lands in bucket [8,16)
+	const goroutines = 4
+	const perG = 200000
+	h := NewHistogram()
+	observersDone := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(v)
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(observersDone) }()
+	for i := 0; i < 2000; i++ {
+		s := h.Snapshot()
+		var bucketTotal uint64
+		for _, b := range s.Buckets {
+			bucketTotal += b.Count
+		}
+		if s.Count != bucketTotal {
+			t.Fatalf("Count %d != bucket total %d", s.Count, bucketTotal)
+		}
+		if s.Count == 0 {
+			continue
+		}
+		if math.IsInf(s.Min, 0) || math.IsInf(s.Max, 0) || math.IsNaN(s.Sum) {
+			t.Fatalf("non-finite snapshot fields: min=%v max=%v sum=%v", s.Min, s.Max, s.Sum)
+		}
+		// All observations are the constant v, so Min/Max are either the
+		// true extremes (v) or the bucket-bound fallback enclosing v.
+		if s.Min > v || s.Max < v {
+			t.Fatalf("extremes exclude the observed value: min=%v max=%v", s.Min, s.Max)
+		}
+		// The clamp guarantees Count·Min ≤ Sum ≤ Count·Max; with a single
+		// observed value and exact extremes that means Sum == Count·v.
+		if s.Min == v && s.Max == v && s.Sum != float64(s.Count)*v {
+			t.Fatalf("Sum %v != Count %d × %v", s.Sum, s.Count, v)
+		}
+		if lo, hi := float64(s.Count)*s.Min, float64(s.Count)*s.Max; s.Sum < lo || s.Sum > hi {
+			t.Fatalf("Sum %v outside clamp [%v, %v]", s.Sum, lo, hi)
+		}
+		for _, q := range []float64{s.P50, s.P90, s.P99} {
+			if q < s.Min || q > s.Max {
+				t.Fatalf("quantile %v outside [%v, %v]", q, s.Min, s.Max)
+			}
+		}
+	}
+	<-observersDone
+
+	// Quiescent: everything is exact.
+	s := h.Snapshot()
+	if s.Count != goroutines*perG || s.Min != v || s.Max != v || s.Sum != float64(s.Count)*v {
+		t.Fatalf("quiescent snapshot inexact: %+v (want count %d)", s, goroutines*perG)
+	}
+}

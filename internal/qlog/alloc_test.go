@@ -1,0 +1,73 @@
+package qlog
+
+import (
+	"net/netip"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dnsttl/internal/dnswire"
+)
+
+// TestAllocsDisabled pins the ISSUE budget: a nil tap (qlog off) costs the
+// serving path zero allocations.
+func TestAllocsDisabled(t *testing.T) {
+	var tap *Tap
+	client := netip.MustParseAddr("10.0.0.1")
+	name := dnswire.NewName("www.example.org")
+	allocs := testing.AllocsPerRun(1000, func() {
+		tap.ClientIn(client, name, dnswire.TypeA)
+		tap.ResponseOut(client, name, dnswire.TypeA, dnswire.RCodeNoError, 300, OutcomeHit, time.Millisecond)
+		tap.Upstream(client, name, dnswire.TypeA, dnswire.RCodeNoError, 300, OutcomeNone, time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled capture allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAllocsEnabled pins the ISSUE budget: enabled capture is ≤2
+// allocations per record on the producer side (ours is 0 — the record is
+// copied into a preallocated ring slot).
+func TestAllocsEnabled(t *testing.T) {
+	l, err := New(Config{
+		Path:     filepath.Join(t.TempDir(), "q.log"),
+		RingSize: 1 << 16, // large enough that the run never contends on drops
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tap := l.Tap("udp")
+	client := netip.MustParseAddr("10.0.0.1")
+	name := dnswire.NewName("www.example.org")
+	allocs := testing.AllocsPerRun(1000, func() {
+		tap.ResponseOut(client, name, dnswire.TypeA, dnswire.RCodeNoError, 300, OutcomeHit, time.Millisecond)
+	})
+	if allocs > 2 {
+		t.Fatalf("enabled capture allocates %.1f/op, want <= 2", allocs)
+	}
+}
+
+// TestAllocsSampledOut pins that a sampled-out record is also free.
+func TestAllocsSampledOut(t *testing.T) {
+	l, err := New(Config{
+		Path:         filepath.Join(t.TempDir(), "q.log"),
+		PerClientMod: 1 << 30, // effectively samples every client out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	tap := l.Tap("udp")
+	client := netip.MustParseAddr("10.9.8.7")
+	if clientHash(client)%(1<<30) == 0 {
+		t.Skip("client unexpectedly selected by hash")
+	}
+	name := dnswire.NewName("www.example.org")
+	allocs := testing.AllocsPerRun(1000, func() {
+		tap.ResponseOut(client, name, dnswire.TypeA, dnswire.RCodeNoError, 300, OutcomeHit, time.Millisecond)
+	})
+	if allocs > 0 {
+		t.Fatalf("sampled-out capture allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,597 @@
+// Package qlog is the module's structured query-log plane: dnstap-shaped
+// capture of individual DNS events — client queries arriving, responses
+// leaving, upstream exchanges — at the resolver, the farm's frontends, and
+// the authoritative servers.
+//
+// Where internal/obs aggregates (counters, histograms), qlog records: each
+// captured event is one compact Record carrying timestamp, peer address,
+// qname/qtype, rcode, answer TTL, cache outcome, latency, and transport.
+// That stream is exactly the raw material of the paper's §3.4 passive
+// methodology, so rotated logs feed straight into internal/entrada
+// (cmd/dnstop) and reproduce the Figures 3/4 statistics from live traffic.
+//
+// The write path follows the module's alloc-pin discipline: producers
+// publish into a fixed, lock-free MPMC ring (one CAS, no allocation, no
+// blocking — a full ring drops the record and counts the drop), and a
+// single consumer goroutine drains the ring, encodes (JSONL or a
+// length-prefixed binary framing), and writes through a size-rotated file
+// set. A nil *Logger or nil *Tap is a valid no-op costing one pointer
+// check, so capture points need no "is logging on" branches of their own.
+package qlog
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/obs"
+	"dnsttl/internal/simnet"
+)
+
+// Point is the capture point a record was taken at.
+type Point uint8
+
+const (
+	// PointClientIn marks a query arriving from a client.
+	PointClientIn Point = iota
+	// PointResponseOut marks a response leaving for a client.
+	PointResponseOut
+	// PointUpstream marks one upstream exchange performed by a resolver.
+	PointUpstream
+)
+
+// String renders the point's JSONL spelling.
+func (p Point) String() string {
+	switch p {
+	case PointClientIn:
+		return "client"
+	case PointResponseOut:
+		return "response"
+	case PointUpstream:
+		return "upstream"
+	}
+	return "unknown"
+}
+
+// ParsePoint maps the JSONL spellings back to a Point.
+func ParsePoint(s string) (Point, error) {
+	switch s {
+	case "client":
+		return PointClientIn, nil
+	case "response":
+		return PointResponseOut, nil
+	case "upstream":
+		return PointUpstream, nil
+	}
+	return 0, fmt.Errorf("qlog: unknown capture point %q", s)
+}
+
+// Outcome classifies how a response was produced (or how an upstream
+// exchange ended). OutcomeNone is used where the concept does not apply
+// (client-in records, authoritative responses, successful upstream
+// exchanges).
+type Outcome uint8
+
+const (
+	OutcomeNone Outcome = iota
+	// OutcomeMiss: the response required upstream iteration.
+	OutcomeMiss
+	// OutcomeHit: answered from cache without any upstream query.
+	OutcomeHit
+	// OutcomeStale: answered past its TTL (RFC 8767 serve-stale).
+	OutcomeStale
+	// OutcomeCoalesced: answered by joining an identical in-flight query.
+	OutcomeCoalesced
+	// OutcomeTimeout: an upstream exchange that timed out.
+	OutcomeTimeout
+	// OutcomeError: an upstream exchange that failed for another reason.
+	OutcomeError
+)
+
+// String renders the outcome's JSONL spelling.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeHit:
+		return "hit"
+	case OutcomeStale:
+		return "stale"
+	case OutcomeCoalesced:
+		return "coalesced"
+	case OutcomeTimeout:
+		return "timeout"
+	case OutcomeError:
+		return "error"
+	}
+	return ""
+}
+
+// ParseOutcome maps the JSONL spellings back to an Outcome.
+func ParseOutcome(s string) (Outcome, error) {
+	switch s {
+	case "":
+		return OutcomeNone, nil
+	case "miss":
+		return OutcomeMiss, nil
+	case "hit":
+		return OutcomeHit, nil
+	case "stale":
+		return OutcomeStale, nil
+	case "coalesced":
+		return OutcomeCoalesced, nil
+	case "timeout":
+		return OutcomeTimeout, nil
+	case "error":
+		return OutcomeError, nil
+	}
+	return 0, fmt.Errorf("qlog: unknown outcome %q", s)
+}
+
+// Record is one captured event. It is a value type holding no heap
+// references beyond the (immutable) Name and Transport strings, so writing
+// one into a ring slot is a plain copy.
+type Record struct {
+	// Time is the capture timestamp in Unix nanoseconds.
+	Time int64
+	// LatencyUS is the event's latency in microseconds: client wall time
+	// for response-out records, exchange RTT for upstream records, 0 for
+	// client-in records.
+	LatencyUS int64
+	// Client is the peer: the querying client for client-in/response-out
+	// records, the upstream server for upstream records.
+	Client netip.Addr
+	// Name and Type identify the question.
+	Name dnswire.Name
+	Type dnswire.Type
+	// Point is where the record was captured.
+	Point Point
+	// Outcome classifies response-out records (hit/miss/stale/coalesced)
+	// and failed upstream exchanges (timeout/error).
+	Outcome Outcome
+	// RCode is the response code (response-out and successful upstream
+	// records).
+	RCode dnswire.RCode
+	// TTL is the TTL of the first answer record, in seconds; 0 when the
+	// response carried no answers.
+	TTL uint32
+	// Transport labels the wire the event used ("udp", "tcp", "dot",
+	// "doh", "sim", ...).
+	Transport string
+}
+
+// Metric names under which New registers the logger's telemetry.
+const (
+	// MetricRecords counts records accepted into the ring.
+	MetricRecords = "qlog.records"
+	// MetricDropped counts records lost to a full ring (backpressure is
+	// never applied to the serving path).
+	MetricDropped = "qlog.dropped"
+	// MetricSampledOut counts records skipped by the 1-in-N or per-client
+	// sampling configuration.
+	MetricSampledOut = "qlog.sampled_out"
+	// MetricBytes counts bytes written to the active log file.
+	MetricBytes = "qlog.bytes_written"
+	// MetricRotations counts completed file rotations.
+	MetricRotations = "qlog.rotations"
+	// MetricWriteErrors counts encode/write failures (the record is lost).
+	MetricWriteErrors = "qlog.write_errors"
+)
+
+// Format selects the on-disk encoding.
+type Format uint8
+
+const (
+	// FormatJSONL writes one JSON object per line — greppable, and what
+	// cmd/dnstop reads by default.
+	FormatJSONL Format = iota
+	// FormatBinary writes the length-prefixed binary framing — roughly 4x
+	// denser than JSONL, for high-QPS captures.
+	FormatBinary
+)
+
+// ParseFormat maps "jsonl" or "binary" to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "jsonl", "json":
+		return FormatJSONL, nil
+	case "binary", "bin":
+		return FormatBinary, nil
+	}
+	return 0, fmt.Errorf("qlog: unknown format %q (want jsonl or binary)", s)
+}
+
+func (f Format) String() string {
+	if f == FormatBinary {
+		return "binary"
+	}
+	return "jsonl"
+}
+
+// Config parameterizes a Logger.
+type Config struct {
+	// Path is the active log file; rotations shift it to Path.1, Path.2, …
+	Path string
+	// Format selects the encoding; the zero value is JSONL.
+	Format Format
+	// MaxBytes rotates the active file when it exceeds this size;
+	// 0 means 64 MiB.
+	MaxBytes int64
+	// MaxFiles bounds the rotated set (active file included); 0 means 4.
+	MaxFiles int
+	// RingSize is the capture ring's capacity, rounded up to a power of
+	// two; 0 means 8192. A full ring drops records (counted), it never
+	// blocks the serving path.
+	RingSize int
+	// SampleN keeps one record in N (applied after PerClientMod);
+	// 0 or 1 keeps all.
+	SampleN int
+	// PerClientMod keeps only clients whose address hash ≡ 0 (mod M),
+	// preserving complete per-client streams for interarrival analysis
+	// where 1-in-N sampling would shred them; 0 or 1 keeps all clients.
+	PerClientMod int
+	// Points is the capture-point mask; 0 means all points.
+	Points PointMask
+	// Registry, when non-nil, receives the qlog.* counters.
+	Registry *obs.Registry
+	// Clock stamps records; nil means wall clock.
+	Clock simnet.Clock
+	// FlushEvery bounds how long a record may sit in the write buffer;
+	// 0 means 250 ms.
+	FlushEvery time.Duration
+}
+
+// PointMask selects which capture points a Logger retains.
+type PointMask uint8
+
+const (
+	MaskClientIn    PointMask = 1 << PointClientIn
+	MaskResponseOut PointMask = 1 << PointResponseOut
+	MaskUpstream    PointMask = 1 << PointUpstream
+	MaskAll                   = MaskClientIn | MaskResponseOut | MaskUpstream
+)
+
+// ParsePointMask parses a comma-separated point list ("client,response,
+// upstream" or "all").
+func ParsePointMask(s string) (PointMask, error) {
+	if s == "" || s == "all" {
+		return MaskAll, nil
+	}
+	var m PointMask
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i < len(s) && s[i] != ',' {
+			continue
+		}
+		p, err := ParsePoint(s[start:i])
+		if err != nil {
+			return 0, err
+		}
+		m |= 1 << p
+		start = i + 1
+	}
+	return m, nil
+}
+
+// slot is one ring cell: seq is the Vyukov MPMC sequence marker.
+type slot struct {
+	seq atomic.Uint64
+	rec Record
+}
+
+// Logger is the async capture pipeline: producers Emit into the ring,
+// one consumer goroutine drains, encodes, and writes through rotation.
+// The nil *Logger is a valid no-op.
+type Logger struct {
+	cfg   Config
+	clock simnet.Clock
+
+	ring []slot
+	mask uint64
+	enq  atomic.Uint64 // next sequence producers claim
+	deq  uint64        // next sequence the consumer reads (consumer-only)
+
+	// Accounting, mirrored into the registry when configured.
+	records     atomic.Uint64
+	dropped     atomic.Uint64
+	sampledOut  atomic.Uint64
+	writeErrors atomic.Uint64
+	sampleSeq   atomic.Uint64 // 1-in-N position counter
+
+	mRecords    *obs.Counter
+	mDropped    *obs.Counter
+	mSampledOut *obs.Counter
+	mWriteErr   *obs.Counter
+
+	notify chan struct{} // kicked (non-blocking) on enqueue to wake the consumer
+	stop   chan struct{}
+	done   chan struct{}
+	once   sync.Once
+
+	w   *rotatingWriter
+	enc encoder
+}
+
+// New opens the log file and starts the consumer. Close flushes and stops.
+func New(cfg Config) (*Logger, error) {
+	if cfg.Path == "" {
+		return nil, fmt.Errorf("qlog: Config.Path is required")
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 8192
+	}
+	size := 1
+	for size < cfg.RingSize {
+		size <<= 1
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	if cfg.MaxFiles <= 0 {
+		cfg.MaxFiles = 4
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = 250 * time.Millisecond
+	}
+	if cfg.Points == 0 {
+		cfg.Points = MaskAll
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simnet.WallClock{}
+	}
+	w, err := newRotatingWriter(cfg.Path, cfg.MaxBytes, cfg.MaxFiles, cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	l := &Logger{
+		cfg:    cfg,
+		clock:  clock,
+		ring:   make([]slot, size),
+		mask:   uint64(size - 1),
+		notify: make(chan struct{}, 1),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		w:      w,
+
+		mRecords:    cfg.Registry.Counter(MetricRecords),
+		mDropped:    cfg.Registry.Counter(MetricDropped),
+		mSampledOut: cfg.Registry.Counter(MetricSampledOut),
+		mWriteErr:   cfg.Registry.Counter(MetricWriteErrors),
+	}
+	for i := range l.ring {
+		l.ring[i].seq.Store(uint64(i))
+	}
+	if cfg.Format == FormatBinary {
+		if err := w.writeHeader(binaryMagic); err != nil {
+			_ = w.Close()
+			return nil, err
+		}
+		l.enc = &binaryEncoder{}
+	} else {
+		l.enc = &jsonlEncoder{}
+	}
+	go l.consume()
+	return l, nil
+}
+
+// Tap returns an emit handle labeled with a transport ("udp", "dot", …).
+// Taps are what capture points hold; a nil Logger yields a nil Tap, and
+// every Tap method is nil-safe, so wiring is unconditional.
+func (l *Logger) Tap(transport string) *Tap {
+	if l == nil {
+		return nil
+	}
+	return &Tap{l: l, transport: transport}
+}
+
+// Stats is the logger's accounting snapshot.
+type Stats struct {
+	Records     uint64 `json:"records"`
+	Dropped     uint64 `json:"dropped"`
+	SampledOut  uint64 `json:"sampled_out"`
+	WriteErrors uint64 `json:"write_errors"`
+	Rotations   uint64 `json:"rotations"`
+	Bytes       uint64 `json:"bytes_written"`
+}
+
+// Stats returns the logger's counters (zero for a nil logger).
+func (l *Logger) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	return Stats{
+		Records:     l.records.Load(),
+		Dropped:     l.dropped.Load(),
+		SampledOut:  l.sampledOut.Load(),
+		WriteErrors: l.writeErrors.Load(),
+		Rotations:   l.w.rotations.Load(),
+		Bytes:       l.w.bytes.Load(),
+	}
+}
+
+// Emit offers one record to the ring. It never blocks: a full ring or a
+// sampled-out record is counted and discarded. Emit is safe from any
+// goroutine and allocation-free.
+func (l *Logger) Emit(rec *Record) {
+	if l == nil {
+		return
+	}
+	if l.cfg.Points&(1<<rec.Point) == 0 {
+		return
+	}
+	if m := l.cfg.PerClientMod; m > 1 && int(clientHash(rec.Client)%uint64(m)) != 0 {
+		l.sampledOut.Add(1)
+		l.mSampledOut.Inc()
+		return
+	}
+	if n := l.cfg.SampleN; n > 1 && l.sampleSeq.Add(1)%uint64(n) != 0 {
+		l.sampledOut.Add(1)
+		l.mSampledOut.Inc()
+		return
+	}
+	for {
+		pos := l.enq.Load()
+		s := &l.ring[pos&l.mask]
+		seq := s.seq.Load()
+		switch {
+		case seq == pos:
+			if l.enq.CompareAndSwap(pos, pos+1) {
+				s.rec = *rec
+				s.seq.Store(pos + 1)
+				l.records.Add(1)
+				l.mRecords.Inc()
+				select {
+				case l.notify <- struct{}{}:
+				default:
+				}
+				return
+			}
+		case seq < pos:
+			// The consumer has not freed this slot: the ring is full.
+			l.dropped.Add(1)
+			l.mDropped.Inc()
+			return
+		default:
+			// Another producer claimed pos; reload and retry.
+		}
+	}
+}
+
+// clientHash is a 64-bit FNV-1a over the address bytes, allocation-free.
+func clientHash(a netip.Addr) uint64 {
+	b := a.As16()
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// consume drains the ring, encodes, and writes until Close.
+func (l *Logger) consume() {
+	defer close(l.done)
+	flush := time.NewTicker(l.cfg.FlushEvery)
+	defer flush.Stop()
+	for {
+		if l.drain() == 0 {
+			select {
+			case <-l.notify:
+			case <-flush.C:
+				l.flushWrite()
+			case <-l.stop:
+				l.drain()
+				l.flushWrite()
+				return
+			}
+		}
+	}
+}
+
+// drain consumes every currently published slot, returning how many.
+func (l *Logger) drain() int {
+	n := 0
+	for {
+		s := &l.ring[l.deq&l.mask]
+		if s.seq.Load() != l.deq+1 {
+			return n
+		}
+		rec := s.rec
+		s.seq.Store(l.deq + uint64(len(l.ring)))
+		l.deq++
+		n++
+		if err := l.enc.encode(l.w, &rec); err != nil {
+			l.writeErrors.Add(1)
+			l.mWriteErr.Inc()
+		}
+	}
+}
+
+func (l *Logger) flushWrite() {
+	if err := l.w.Flush(); err != nil {
+		l.writeErrors.Add(1)
+		l.mWriteErr.Inc()
+	}
+}
+
+// Now returns the logger's clock reading in Unix nanoseconds.
+func (l *Logger) Now() int64 { return l.clock.Now().UnixNano() }
+
+// Close drains the ring, flushes, and closes the active file. A nil logger
+// is a no-op.
+func (l *Logger) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.once.Do(func() { close(l.stop) })
+	<-l.done
+	return l.w.Close()
+}
+
+// Tap is a transport-labeled emit handle held by one capture point. All
+// methods are nil-safe and allocation-free.
+type Tap struct {
+	l         *Logger
+	transport string
+}
+
+// ClientIn records a query arriving from client.
+func (t *Tap) ClientIn(client netip.Addr, name dnswire.Name, qtype dnswire.Type) {
+	if t == nil {
+		return
+	}
+	t.l.Emit(&Record{
+		Time:      t.l.Now(),
+		Client:    client,
+		Name:      name,
+		Type:      qtype,
+		Point:     PointClientIn,
+		Transport: t.transport,
+	})
+}
+
+// ResponseOut records a response leaving for client.
+func (t *Tap) ResponseOut(client netip.Addr, name dnswire.Name, qtype dnswire.Type,
+	rcode dnswire.RCode, ttl uint32, outcome Outcome, latency time.Duration) {
+	if t == nil {
+		return
+	}
+	t.l.Emit(&Record{
+		Time:      t.l.Now(),
+		LatencyUS: int64(latency / time.Microsecond),
+		Client:    client,
+		Name:      name,
+		Type:      qtype,
+		Point:     PointResponseOut,
+		Outcome:   outcome,
+		RCode:     rcode,
+		TTL:       ttl,
+		Transport: t.transport,
+	})
+}
+
+// Upstream records one upstream exchange against server. outcome is
+// OutcomeNone for successful exchanges, OutcomeTimeout/OutcomeError
+// otherwise.
+func (t *Tap) Upstream(server netip.Addr, name dnswire.Name, qtype dnswire.Type,
+	rcode dnswire.RCode, ttl uint32, outcome Outcome, rtt time.Duration) {
+	if t == nil {
+		return
+	}
+	t.l.Emit(&Record{
+		Time:      t.l.Now(),
+		LatencyUS: int64(rtt / time.Microsecond),
+		Client:    server,
+		Name:      name,
+		Type:      qtype,
+		Point:     PointUpstream,
+		Outcome:   outcome,
+		RCode:     rcode,
+		TTL:       ttl,
+		Transport: t.transport,
+	})
+}

@@ -1,0 +1,378 @@
+package qlog
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/obs"
+)
+
+func testRecord(i int) Record {
+	return Record{
+		Time:      int64(1700000000_000000000 + i*1000),
+		LatencyUS: int64(i % 5000),
+		Client:    netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+		Name:      dnswire.NewName(fmt.Sprintf("q%d.example.test", i%17)),
+		Type:      dnswire.TypeA,
+		Point:     Point(i % 3),
+		Outcome:   Outcome(i % 7),
+		RCode:     dnswire.RCode(i % 4),
+		TTL:       uint32(i % 3600),
+		Transport: []string{"udp", "tcp", "dot", "doh"}[i%4],
+	}
+}
+
+// TestRoundTrip pins that both encodings reproduce records exactly.
+func TestRoundTrip(t *testing.T) {
+	for _, format := range []Format{FormatJSONL, FormatBinary} {
+		t.Run(format.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "q.log")
+			l, err := New(Config{Path: path, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 500
+			want := make([]Record, n)
+			for i := 0; i < n; i++ {
+				want[i] = testRecord(i)
+				l.Emit(&want[i])
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, errs, err := ReadAll(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errs != 0 {
+				t.Fatalf("decode errors: %d", errs)
+			}
+			if len(got) != n {
+				t.Fatalf("read %d records, want %d", len(got), n)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+				}
+			}
+			st := l.Stats()
+			if st.Records != n || st.Dropped != 0 || st.SampledOut != 0 {
+				t.Fatalf("stats: %+v", st)
+			}
+		})
+	}
+}
+
+// TestRotation pins the size-based rotation invariants: the set is bounded
+// by MaxFiles, every file decodes cleanly (binary files re-carry the
+// magic), and RotatedSet returns chronological order.
+func TestRotation(t *testing.T) {
+	for _, format := range []Format{FormatJSONL, FormatBinary} {
+		t.Run(format.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "q.log")
+			l, err := New(Config{Path: path, Format: format, MaxBytes: 4096, MaxFiles: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 2000
+			for i := 0; i < n; i++ {
+				rec := testRecord(i)
+				l.Emit(&rec)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if l.Stats().Rotations == 0 {
+				t.Fatal("expected at least one rotation")
+			}
+			files, err := RotatedSet(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(files) > 3 {
+				t.Fatalf("rotated set %v exceeds MaxFiles", files)
+			}
+			recs, errs, err := ReadAll(files...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errs != 0 {
+				t.Fatalf("decode errors across rotated set: %d", errs)
+			}
+			if len(recs) == 0 || len(recs) >= n {
+				// Rotation must have discarded the oldest files but kept a
+				// contiguous, decodable tail.
+				t.Fatalf("read %d records, want (0, %d)", len(recs), n)
+			}
+			// Chronological order across the file boundary.
+			for i := 1; i < len(recs); i++ {
+				if recs[i].Time < recs[i-1].Time {
+					t.Fatalf("records out of order at %d", i)
+				}
+			}
+			// No file beyond the bound lingers.
+			if _, err := os.Stat(path + ".3"); err == nil {
+				t.Fatal("file beyond MaxFiles was not removed")
+			}
+		})
+	}
+}
+
+// TestSampling pins 1-in-N and per-client sampling accounting.
+func TestSampling(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.log")
+	reg := obs.NewRegistry(nil)
+	l, err := New(Config{Path: path, SampleN: 10, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		rec := testRecord(i)
+		l.Emit(&rec)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Records != n/10 {
+		t.Fatalf("kept %d records, want %d", st.Records, n/10)
+	}
+	if st.SampledOut != n-n/10 {
+		t.Fatalf("sampled out %d, want %d", st.SampledOut, n-n/10)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MetricRecords] != st.Records || snap.Counters[MetricSampledOut] != st.SampledOut {
+		t.Fatalf("registry mirror disagrees: %+v vs %+v", snap.Counters, st)
+	}
+
+	// Per-client sampling keeps complete streams for selected clients.
+	path2 := filepath.Join(t.TempDir(), "q2.log")
+	l2, err := New(Config{Path: path2, PerClientMod: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := map[netip.Addr]int{}
+	for i := 0; i < n; i++ {
+		rec := testRecord(i)
+		rec.Client = netip.AddrFrom4([4]byte{192, 0, 2, byte(i % 16)})
+		l2.Emit(&rec)
+		if clientHash(rec.Client)%4 == 0 {
+			kept[rec.Client]++
+		}
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ReadAll(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[netip.Addr]int{}
+	for _, r := range recs {
+		got[r.Client]++
+	}
+	if len(got) == 0 || len(got) >= 16 {
+		t.Fatalf("per-client sampling kept %d of 16 clients", len(got))
+	}
+	for a, n := range kept {
+		if got[a] != n {
+			t.Fatalf("client %s: kept %d records, want the complete stream of %d", a, got[a], n)
+		}
+	}
+}
+
+// TestPointMask pins that masked-out capture points are not retained.
+func TestPointMask(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.log")
+	l, err := New(Config{Path: path, Points: MaskResponseOut | MaskUpstream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		rec := testRecord(i) // cycles through all three points
+		l.Emit(&rec)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 200 {
+		t.Fatalf("kept %d records, want 200", len(recs))
+	}
+	for _, r := range recs {
+		if r.Point == PointClientIn {
+			t.Fatal("client-in record retained despite mask")
+		}
+	}
+}
+
+// TestDropAccounting pins that a full ring drops (and counts) rather than
+// blocking the producer.
+func TestDropAccounting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.log")
+	l, err := New(Config{Path: path, RingSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stall the consumer by closing its wake channel path indirectly: just
+	// hammer far faster than one consumer can drain a 16-slot ring.
+	const n = 100000
+	for i := 0; i < n; i++ {
+		rec := testRecord(i)
+		l.Emit(&rec)
+	}
+	st := l.Stats()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st = l.Stats()
+	if st.Records+st.Dropped != n {
+		t.Fatalf("records %d + dropped %d != %d", st.Records, st.Dropped, n)
+	}
+	recs, errs, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs != 0 {
+		t.Fatalf("decode errors: %d", errs)
+	}
+	if uint64(len(recs)) != st.Records {
+		t.Fatalf("file holds %d records, stats claim %d", len(recs), st.Records)
+	}
+}
+
+// TestConcurrentEmit hammers the ring from many goroutines under -race and
+// checks conservation: every emit is either written, dropped, or sampled.
+func TestConcurrentEmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.log")
+	l, err := New(Config{Path: path, RingSize: 1024, SampleN: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const per = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tap := l.Tap("udp")
+			client := netip.AddrFrom4([4]byte{10, 1, 0, byte(g)})
+			for i := 0; i < per; i++ {
+				tap.ResponseOut(client, "www.example.test.", dnswire.TypeA,
+					dnswire.RCodeNoError, 300, OutcomeHit, time.Millisecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Records+st.Dropped+st.SampledOut != goroutines*per {
+		t.Fatalf("conservation violated: %+v (want total %d)", st, goroutines*per)
+	}
+	recs, errs, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs != 0 {
+		t.Fatalf("decode errors: %d", errs)
+	}
+	if uint64(len(recs)) != st.Records {
+		t.Fatalf("file holds %d records, stats claim %d", len(recs), st.Records)
+	}
+}
+
+// TestTornTail pins that a crash-truncated file is tolerated: the intact
+// prefix decodes and the torn tail is counted as a decode error.
+func TestTornTail(t *testing.T) {
+	for _, format := range []Format{FormatJSONL, FormatBinary} {
+		t.Run(format.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "q.log")
+			l, err := New(Config{Path: path, Format: format})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				rec := testRecord(i)
+				l.Emit(&rec)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, b[:len(b)-7], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recs, errs, err := ReadAll(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errs == 0 {
+				t.Fatal("torn tail not counted as a decode error")
+			}
+			if len(recs) < 90 {
+				t.Fatalf("only %d records survived a 7-byte truncation", len(recs))
+			}
+		})
+	}
+}
+
+// TestParsePointMask pins the flag grammar.
+func TestParsePointMask(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want PointMask
+		err  bool
+	}{
+		{"", MaskAll, false},
+		{"all", MaskAll, false},
+		{"response", MaskResponseOut, false},
+		{"client,upstream", MaskClientIn | MaskUpstream, false},
+		{"client,response,upstream", MaskAll, false},
+		{"bogus", 0, true},
+	} {
+		got, err := ParsePointMask(tc.in)
+		if (err != nil) != tc.err {
+			t.Fatalf("ParsePointMask(%q) err=%v", tc.in, err)
+		}
+		if err == nil && got != tc.want {
+			t.Fatalf("ParsePointMask(%q)=%v want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestNilSafety pins the disabled configuration: nil loggers and taps
+// accept every call.
+func TestNilSafety(t *testing.T) {
+	var l *Logger
+	var tap *Tap = l.Tap("udp")
+	tap.ClientIn(netip.MustParseAddr("10.0.0.1"), "a.example.", dnswire.TypeA)
+	tap.ResponseOut(netip.MustParseAddr("10.0.0.1"), "a.example.", dnswire.TypeA,
+		dnswire.RCodeNoError, 60, OutcomeHit, time.Millisecond)
+	tap.Upstream(netip.MustParseAddr("10.0.0.2"), "a.example.", dnswire.TypeA,
+		dnswire.RCodeNoError, 60, OutcomeNone, time.Millisecond)
+	rec := testRecord(1)
+	l.Emit(&rec)
+	if st := l.Stats(); st != (Stats{}) {
+		t.Fatalf("nil logger stats: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"dnsttl/internal/cache"
 	"dnsttl/internal/dnswire"
 	"dnsttl/internal/obs"
+	"dnsttl/internal/qlog"
 	"dnsttl/internal/simnet"
 	"dnsttl/internal/zone"
 )
@@ -86,6 +87,10 @@ type Resolver struct {
 	// daemons' /trace endpoint). Nil keeps the hot path to one pointer
 	// check per instrumentation point.
 	Tracer *obs.Tracer
+	// QLog, when non-nil, emits one qlog upstream-exchange record per
+	// attempt (server, question, rcode, TTL, RTT, timeout/error outcome).
+	// Nil costs one pointer check per attempt.
+	QLog *qlog.Tap
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -506,7 +511,7 @@ func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dn
 			}
 		}
 		if i == 0 && rp.Hedge > 0 && len(order) > 1 {
-			resp, server, cost, err := r.hedgedAttempt(order, wire, rp, res, sp)
+			resp, server, cost, err := r.hedgedAttempt(order, name, qtype, wire, rp, res, sp)
 			spent += cost
 			res.Latency += cost
 			if err == nil {
@@ -516,7 +521,7 @@ func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dn
 			continue
 		}
 		server := order[i%len(order)]
-		resp, cost, err := r.attempt(server, wire, rp, retrying, res, sp, res.Latency)
+		resp, cost, err := r.attempt(server, name, qtype, wire, rp, retrying, res, sp, res.Latency)
 		spent += cost
 		res.Latency += cost
 		if err == nil {
@@ -541,7 +546,7 @@ func (r *Resolver) exchangeAny(servers []netip.Addr, name dnswire.Name, qtype dn
 // earlier completion — the caller knows which. offset positions the fault
 // schedule at the virtual latency this resolution has already accumulated,
 // so a retry after backoff sees later fault-window state.
-func (r *Resolver) attempt(server netip.Addr, wire []byte, rp RetryPolicy, retrying bool, res *Result, sp *obs.Span, offset time.Duration) (*dnswire.Message, time.Duration, error) {
+func (r *Resolver) attempt(server netip.Addr, name dnswire.Name, qtype dnswire.Type, wire []byte, rp RetryPolicy, retrying bool, res *Result, sp *obs.Span, offset time.Duration) (*dnswire.Message, time.Duration, error) {
 	esp := sp.Child("exchange")
 	if esp != nil {
 		esp.Annotate("server", server.String())
@@ -565,6 +570,7 @@ func (r *Resolver) attempt(server netip.Addr, wire []byte, rp RetryPolicy, retry
 		r.srttPenalize(server, cost)
 		esp.Annotate("error", "timeout")
 		esp.Finish()
+		r.QLog.Upstream(server, name, qtype, 0, 0, qlog.OutcomeTimeout, cost)
 		return nil, cost, err
 	}
 	if rp.AttemptTimeout > 0 && rtt > rp.AttemptTimeout {
@@ -576,6 +582,7 @@ func (r *Resolver) attempt(server netip.Addr, wire []byte, rp RetryPolicy, retry
 		r.srttPenalize(server, cost)
 		esp.Annotate("error", "attempt-timeout")
 		esp.Finish()
+		r.QLog.Upstream(server, name, qtype, 0, 0, qlog.OutcomeTimeout, cost)
 		return nil, cost, errAttemptSlow
 	}
 	if srtt := r.srttObserve(server, rtt); srtt > 0 {
@@ -590,11 +597,13 @@ func (r *Resolver) attempt(server netip.Addr, wire []byte, rp RetryPolicy, retry
 	if derr != nil {
 		esp.Annotate("error", "decode")
 		esp.Finish()
+		r.QLog.Upstream(server, name, qtype, 0, 0, qlog.OutcomeError, rtt)
 		return nil, cost, derr
 	}
 	if resp.Header.ID != qID {
 		esp.Annotate("error", "id-mismatch")
 		esp.Finish()
+		r.QLog.Upstream(server, name, qtype, 0, 0, qlog.OutcomeError, rtt)
 		return nil, cost, errIDMismatch
 	}
 	if retrying {
@@ -605,15 +614,22 @@ func (r *Resolver) attempt(server netip.Addr, wire []byte, rp RetryPolicy, retry
 		if resp.Header.TC && len(resp.Answer) == 0 && len(resp.Authority) == 0 {
 			esp.Annotate("error", "truncated")
 			esp.Finish()
+			r.QLog.Upstream(server, name, qtype, resp.Header.RCode, 0, qlog.OutcomeError, rtt)
 			return nil, cost, errTruncated
 		}
 		if rc := resp.Header.RCode; rc == dnswire.RCodeServFail || rc == dnswire.RCodeRefused {
 			esp.Annotate("error", "failure-rcode")
 			esp.Finish()
+			r.QLog.Upstream(server, name, qtype, rc, 0, qlog.OutcomeError, rtt)
 			return nil, cost, errUpstreamFailed
 		}
 	}
 	esp.Finish()
+	var ttl uint32
+	if len(resp.Answer) > 0 {
+		ttl = resp.Answer[0].TTL
+	}
+	r.QLog.Upstream(server, name, qtype, resp.Header.RCode, ttl, qlog.OutcomeNone, rtt)
 	return resp, cost, nil
 }
 
@@ -622,10 +638,10 @@ func (r *Resolver) attempt(server netip.Addr, wire []byte, rp RetryPolicy, retry
 // the synchronous simulation both costs are known immediately, so the race
 // resolves arithmetically — the client pays the earlier completion, and both
 // queries hit the authoritatives (the real price of hedging).
-func (r *Resolver) hedgedAttempt(order []netip.Addr, wire []byte, rp RetryPolicy, res *Result, sp *obs.Span) (*dnswire.Message, netip.Addr, time.Duration, error) {
+func (r *Resolver) hedgedAttempt(order []netip.Addr, name dnswire.Name, qtype dnswire.Type, wire []byte, rp RetryPolicy, res *Result, sp *obs.Span) (*dnswire.Message, netip.Addr, time.Duration, error) {
 	base := res.Latency
 	primary, backup := order[0], order[1]
-	respP, costP, errP := r.attempt(primary, wire, rp, true, res, sp, base)
+	respP, costP, errP := r.attempt(primary, name, qtype, wire, rp, true, res, sp, base)
 	if errP == nil && costP <= rp.Hedge {
 		return respP, primary, costP, nil
 	}
@@ -637,7 +653,7 @@ func (r *Resolver) hedgedAttempt(order []netip.Addr, wire []byte, rp RetryPolicy
 	if sp != nil {
 		sp.Annotate("hedge", backup.String())
 	}
-	respH, costH, errH := r.attempt(backup, wire, rp, true, res, sp, base+rp.Hedge)
+	respH, costH, errH := r.attempt(backup, name, qtype, wire, rp, true, res, sp, base+rp.Hedge)
 	completionH := rp.Hedge + costH
 	switch {
 	case errP == nil && (errH != nil || costP <= completionH):

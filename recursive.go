@@ -3,9 +3,11 @@ package dnsttl
 import (
 	"crypto/tls"
 	"net/netip"
+	"time"
 
 	"dnsttl/internal/authoritative"
 	"dnsttl/internal/dnswire"
+	"dnsttl/internal/qlog"
 )
 
 // RecursiveServer fronts a Client with real-socket listeners — UDP, TCP,
@@ -14,15 +16,37 @@ import (
 // may be active.
 type RecursiveServer struct {
 	Client *Client
-	u      *authoritative.UDPServer
-	t      *authoritative.TCPServer
-	dot    *authoritative.TCPServer
-	doh    *authoritative.DoHServer
+	// QueryLog, when non-nil, captures a client-in record as each query
+	// arrives and a response-out record (rcode, answer TTL, cache outcome,
+	// wall latency) as each response leaves, labeled with the listener's
+	// transport ("udp", "tcp", "dot", "doh"). Nil disables capture at the
+	// cost of one pointer check per query.
+	QueryLog *qlog.Logger
+
+	u   *authoritative.UDPServer
+	t   *authoritative.TCPServer
+	dot *authoritative.TCPServer
+	doh *authoritative.DoHServer
+}
+
+// transportHandler binds one listener's queries to its qlog tap.
+type transportHandler struct {
+	rs  *RecursiveServer
+	tap *qlog.Tap
+}
+
+func (h transportHandler) ServeDNS(wire []byte, from netip.Addr) []byte {
+	return h.rs.serveDNS(wire, from, h.tap)
 }
 
 // ServeDNS answers one client query through the resolver: decode, resolve
-// (cache first), re-stamp the client's transaction ID, encode.
+// (cache first), re-stamp the client's transaction ID, encode. Direct
+// calls (tests, embedding) log under the "direct" transport label.
 func (rs *RecursiveServer) ServeDNS(wire []byte, from netip.Addr) []byte {
+	return rs.serveDNS(wire, from, rs.QueryLog.Tap("direct"))
+}
+
+func (rs *RecursiveServer) serveDNS(wire []byte, from netip.Addr, tap *qlog.Tap) []byte {
 	q, err := dnswire.Decode(wire)
 	if err != nil || len(q.Question) == 0 {
 		if len(wire) < 12 {
@@ -37,13 +61,26 @@ func (rs *RecursiveServer) ServeDNS(wire []byte, from netip.Addr) []byte {
 		}
 		return out
 	}
-	res, err := rs.Client.Lookup(q.Q().Name, q.Q().Type)
+	name, qtype := q.Q().Name, q.Q().Type
+	tap.ClientIn(from, name, qtype)
+	var start time.Time
+	if tap != nil {
+		start = time.Now()
+	}
+	res, err := rs.Client.Lookup(name, qtype)
 	if err != nil || res == nil {
+		if tap != nil {
+			tap.ResponseOut(from, name, qtype, RCodeServFail, 0, qlog.OutcomeError, time.Since(start))
+		}
 		resp := q.Reply()
 		resp.Header.RCode = RCodeServFail
 		resp.Header.RA = true
 		out, _ := Encode(resp)
 		return out
+	}
+	if tap != nil {
+		tap.ResponseOut(from, name, qtype, res.Msg.Header.RCode, res.AnswerTTL,
+			lookupOutcome(res), time.Since(start))
 	}
 	msg := res.Msg
 	msg.Header.ID = q.Header.ID
@@ -55,27 +92,40 @@ func (rs *RecursiveServer) ServeDNS(wire []byte, from netip.Addr) []byte {
 	return out
 }
 
+// lookupOutcome maps a resolution's trace onto the qlog outcome taxonomy.
+func lookupOutcome(res *Result) qlog.Outcome {
+	switch {
+	case res.Coalesced:
+		return qlog.OutcomeCoalesced
+	case res.Stale:
+		return qlog.OutcomeStale
+	case res.CacheHit:
+		return qlog.OutcomeHit
+	}
+	return qlog.OutcomeMiss
+}
+
 // ListenUDP binds addr and serves client queries until Close.
 func (rs *RecursiveServer) ListenUDP(addr string) (netip.AddrPort, error) {
-	rs.u = &authoritative.UDPServer{Handler: rs}
+	rs.u = &authoritative.UDPServer{Handler: transportHandler{rs, rs.QueryLog.Tap("udp")}}
 	return rs.u.Listen(addr)
 }
 
 // ListenTCP binds addr for persistent-TCP clients (RFC 7766) until Close.
 func (rs *RecursiveServer) ListenTCP(addr string) (netip.AddrPort, error) {
-	rs.t = &authoritative.TCPServer{Handler: rs}
+	rs.t = &authoritative.TCPServer{Handler: transportHandler{rs, rs.QueryLog.Tap("tcp")}}
 	return rs.t.Listen(addr)
 }
 
 // ListenDoT binds addr for DNS-over-TLS clients (RFC 7858) until Close.
 func (rs *RecursiveServer) ListenDoT(addr string, cfg *tls.Config) (netip.AddrPort, error) {
-	rs.dot = &authoritative.TCPServer{Handler: rs, TLS: cfg}
+	rs.dot = &authoritative.TCPServer{Handler: transportHandler{rs, rs.QueryLog.Tap("dot")}, TLS: cfg}
 	return rs.dot.Listen(addr)
 }
 
 // ListenDoH binds addr for DNS-over-HTTPS clients (RFC 8484) until Close.
 func (rs *RecursiveServer) ListenDoH(addr string, cfg *tls.Config) (netip.AddrPort, error) {
-	rs.doh = &authoritative.DoHServer{Handler: rs, TLS: cfg}
+	rs.doh = &authoritative.DoHServer{Handler: transportHandler{rs, rs.QueryLog.Tap("doh")}, TLS: cfg}
 	return rs.doh.Listen(addr)
 }
 
