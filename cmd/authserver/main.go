@@ -11,10 +11,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 
 	"dnsttl"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/zone"
 )
 
 type zoneFlags []string
@@ -23,6 +26,70 @@ func (z *zoneFlags) String() string { return strings.Join(*z, ",") }
 func (z *zoneFlags) Set(v string) error {
 	*z = append(*z, v)
 	return nil
+}
+
+// setKey identifies one RRset.
+type setKey struct {
+	name dnsttl.Name
+	typ  dnsttl.Type
+}
+
+// setFingerprint renders an RRset for equality checks. The apex SOA's
+// serial is zeroed out: a push feed owns the live zone's serial, so a
+// serial-only difference in the reloaded file is not a change.
+func setFingerprint(s *zone.RRSet, origin dnsttl.Name) string {
+	parts := make([]string, 0, len(s.RRs))
+	for _, rr := range s.RRs {
+		data := rr.Data
+		if soa, ok := data.(dnswire.SOA); ok && rr.Name == origin {
+			soa.Serial = 0
+			data = soa
+		}
+		parts = append(parts, fmt.Sprintf("%d|%v", rr.TTL, data))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// applyZoneDiff mutates live until it matches fresh, returning the number
+// of RRsets changed. Each mutation routes through the zone's watcher, so
+// with -push every one becomes a feed delta and a NOTIFY fan-out.
+func applyZoneDiff(live, fresh *dnsttl.Zone) int {
+	origin := live.Origin
+	want := map[setKey]*zone.RRSet{}
+	var order []setKey
+	for _, s := range fresh.AllSets() {
+		k := setKey{s.Name, s.Type}
+		want[k] = s
+		order = append(order, k)
+	}
+	have := map[setKey]*zone.RRSet{}
+	var gone []setKey
+	for _, s := range live.AllSets() {
+		k := setKey{s.Name, s.Type}
+		have[k] = s
+		if want[k] == nil {
+			gone = append(gone, k)
+		}
+	}
+	changed := 0
+	for _, k := range order {
+		ws := want[k]
+		if hs := have[k]; hs != nil && setFingerprint(hs, origin) == setFingerprint(ws, origin) {
+			continue
+		}
+		if err := live.Replace(k.name, k.typ, ws.RRs...); err != nil {
+			fmt.Fprintf(os.Stderr, "authserver: reload %s/%v: %v\n", k.name, k.typ, err)
+			continue
+		}
+		changed++
+	}
+	for _, k := range gone {
+		if live.Remove(k.name, k.typ) {
+			changed++
+		}
+	}
+	return changed
 }
 
 func main() {
@@ -34,6 +101,7 @@ func main() {
 		qlogFormat   = flag.String("qlog-format", "jsonl", "query-log encoding: jsonl or binary")
 		qlogMaxBytes = flag.Int64("qlog-max-bytes", 0, "rotate the query log past this size (0 = 64 MiB)")
 		qlogFiles    = flag.Int("qlog-files", 0, "rotated query-log files kept, active included (0 = 4)")
+		pushFeeds    = flag.Bool("push", false, "publish every zone as a change feed: accept subscriptions, NOTIFY subscribers on each change, serve IXFR pulls")
 		zones        zoneFlags
 	)
 	flag.Var(&zones, "zone", "origin=path to a master file (repeatable)")
@@ -44,6 +112,12 @@ func main() {
 		os.Exit(2)
 	}
 	srv := dnsttl.NewServer(dnsttl.NewName(*name), nil)
+	type loadedZone struct {
+		origin string
+		path   string
+		z      *dnsttl.Zone
+	}
+	var loaded []loadedZone
 	for _, spec := range zones {
 		origin, path, ok := strings.Cut(spec, "=")
 		if !ok {
@@ -61,6 +135,7 @@ func main() {
 			os.Exit(1)
 		}
 		srv.AddZone(z)
+		loaded = append(loaded, loadedZone{origin, path, z})
 		fmt.Printf("loaded zone %s from %s\n", origin, path)
 	}
 	var reg *dnsttl.Registry
@@ -68,6 +143,45 @@ func main() {
 		reg = dnsttl.NewRegistry(nil)
 		srv.Instrument(reg)
 	}
+	var pa *dnsttl.PushAuthority
+	if *pushFeeds {
+		zs := make([]*dnsttl.Zone, len(loaded))
+		for i, l := range loaded {
+			zs[i] = l.z
+		}
+		var err error
+		pa, err = srv.EnablePush(zs...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "authserver: push:", err)
+			os.Exit(1)
+		}
+		if reg != nil {
+			pa.Instrument(reg)
+		}
+		fmt.Printf("push plane: %d zone feed(s) published\n", len(zs))
+	}
+	// SIGHUP re-reads every zone file and applies the diff to the live
+	// zones; with -push each applied RRset change NOTIFYs subscribers.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			for _, l := range loaded {
+				text, err := os.ReadFile(l.path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "authserver: reload:", err)
+					continue
+				}
+				fresh, err := dnsttl.ParseZone(string(text), dnsttl.NewName(l.origin))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "authserver: reload %s: %v\n", l.path, err)
+					continue
+				}
+				n := applyZoneDiff(l.z, fresh)
+				fmt.Printf("reloaded %s: %d RRset change(s), serial %d\n", l.origin, n, l.z.Serial())
+			}
+		}
+	}()
 	if *qlogPath != "" {
 		format, err := dnsttl.ParseQueryLogFormat(*qlogFormat)
 		if err != nil {
@@ -109,5 +223,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Printf("\n%d queries served\n", srv.QueryCount())
+	if pa != nil {
+		st := pa.Stats()
+		fmt.Printf("push: %d change(s), %d notify(s) to %d subscriber(s), %d ixfr, %d axfr\n",
+			st.Changes, st.Notifies, st.Subscribers, st.IXFRServed, st.AXFRServed)
+	}
 	_ = srv.Close()
 }

@@ -26,6 +26,25 @@ import (
 	"dnsttl/internal/authoritative"
 )
 
+// pushFlags accumulates repeatable -push zone=host:port subscriptions.
+type pushFlags []string
+
+func (p *pushFlags) String() string { return strings.Join(*p, ",") }
+func (p *pushFlags) Set(v string) error {
+	*p = append(*p, v)
+	return nil
+}
+
+// pushNet routes the push subscriber's subscribe/poll/IXFR exchanges over
+// real UDP to each authority's own port.
+type pushNet struct {
+	ports map[netip.Addr]uint16
+}
+
+func (p pushNet) Exchange(src, dst netip.Addr, query []byte) ([]byte, time.Duration, error) {
+	return dnsttl.UDPNet{Port: p.ports[dst], Timeout: 2 * time.Second}.Exchange(src, dst, query)
+}
+
 func main() {
 	var (
 		listen        = flag.String("listen", "127.0.0.1:5300", "UDP listen address for clients")
@@ -64,9 +83,13 @@ func main() {
 		qlogFiles     = flag.Int("qlog-files", 0, "rotated query-log files kept, active included (0 = 4)")
 		qlogSample    = flag.Int("qlog-sample", 0, "keep 1 query-log record in N (0 or 1 = all)")
 		qlogClientMod = flag.Int("qlog-client-mod", 0, "keep only clients hashing to 0 mod M, complete per-client streams (0 or 1 = all)")
-		qlogPoints    = flag.String("qlog-points", "all", "capture points to log: comma list of client,response,upstream, or all")
+		qlogPoints    = flag.String("qlog-points", "all", "capture points to log: comma list of client,response,upstream,notify, or all")
 		metricsEvery  = flag.Duration("metrics-window-every", 10*time.Second, "snapshot period backing /metrics?window= rate queries")
+		pushPoll      = flag.Duration("push-poll", 0, "SOA polling fallback period for push subscriptions (0 = 5m)")
+		pushPrefetch  = flag.Bool("push-prefetch", false, "re-resolve names purged by push notifies immediately (purge+prefetch)")
+		pushSubs      pushFlags
 	)
+	flag.Var(&pushSubs, "push", "zone=host:port push subscription (repeatable): subscribe to the zone's NOTIFY/IXFR change feed and purge on notify")
 	flag.Parse()
 	if *roots == "" {
 		fmt.Fprintln(os.Stderr, "resolverd: -root is required")
@@ -252,6 +275,48 @@ func main() {
 			}
 			fmt.Printf("serving clients on doh://%s%s\n", dohAddr, "/dns-query")
 		}
+	}
+	if len(pushSubs) > 0 {
+		net := pushNet{ports: map[netip.Addr]uint16{}}
+		type subscription struct {
+			origin dnsttl.Name
+			server netip.Addr
+		}
+		var wanted []subscription
+		for _, spec := range pushSubs {
+			zoneName, hostport, ok := strings.Cut(spec, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "resolverd: bad -push %q (want zone=host:port)\n", spec)
+				os.Exit(2)
+			}
+			ap, err := netip.ParseAddrPort(hostport)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "resolverd: -push %q: %v\n", spec, err)
+				os.Exit(2)
+			}
+			net.ports[ap.Addr()] = ap.Port()
+			wanted = append(wanted, subscription{dnsttl.NewName(zoneName), ap.Addr()})
+		}
+		sub := rs.EnablePush(dnsttl.PushConfig{
+			Port:      addr.Port(),
+			Net:       net,
+			PollEvery: *pushPoll,
+			Prefetch:  *pushPrefetch,
+			Registry:  cfg.Registry,
+			QueryLog:  qlogger.Tap("push"),
+		})
+		for _, w := range wanted {
+			sub.Subscribe(w.origin, w.server)
+		}
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		go func() {
+			for now := range ticker.C {
+				sub.Tick(now)
+			}
+		}()
+		fmt.Printf("push plane: %d subscription(s), poll fallback %s, prefetch %v\n",
+			len(wanted), sub.PollEvery(), *pushPrefetch)
 	}
 	if *metrics != "" {
 		hist := dnsttl.NewMetricsHistory(cfg.Registry, 0)

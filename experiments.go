@@ -54,6 +54,7 @@ var ExperimentIDs = []string{
 	"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 	"dnssec", "hitrate", "outage-sweep", "propagation", "parent-child",
 	"farm-fragmentation", "chaos", "cache-pressure", "planet-scale",
+	"push-propagation",
 }
 
 // RunExperiment regenerates one paper artifact. IDs are listed in
@@ -127,6 +128,8 @@ func RunExperiment(id string, sc ExperimentScale) (*Report, error) {
 		// Fully closed-form: scale knobs don't apply, and there is no
 		// randomness to seed.
 		return experiments.PlanetScale(), nil
+	case "push-propagation":
+		return experiments.PushExperiment(max(sc.Probes/80, 2), sc.Workers, sc.Seed), nil
 	}
 	return nil, fmt.Errorf("dnsttl: unknown experiment %q (known: %v)", id, ExperimentIDs)
 }
@@ -158,6 +161,7 @@ func RunAllExperiments(sc ExperimentScale) ([]*Report, error) {
 		"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 		"dnssec", "hitrate", "outage-sweep", "propagation",
 		"farm-fragmentation", "chaos", "cache-pressure", "planet-scale",
+		"push-propagation",
 	} {
 		r, err := RunExperiment(id, sc)
 		if err != nil {

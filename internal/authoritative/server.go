@@ -47,6 +47,11 @@ type Server struct {
 	// handled query — the authoritative-side capture the paper's §3.4
 	// passive methodology collects. Nil costs one pointer check per query.
 	QLog *qlog.Tap
+	// Push, when non-nil, gets first claim on every decoded query — the
+	// push plane (internal/push) uses it to intercept subscription requests
+	// and IXFR pulls without this package importing it. Handlers must not
+	// retain q: it returns to a pool when the query completes.
+	Push PushHook
 
 	mu       sync.RWMutex
 	zones    map[dnswire.Name]*zone.Zone
@@ -199,10 +204,24 @@ func (s *Server) serveWire(wire []byte, from netip.Addr, limit int) []byte {
 	return out
 }
 
+// PushHook intercepts queries ahead of normal resolution. HandleQuery
+// returns (resp, true) to claim the query, (nil, false) to pass it through.
+// internal/push's Authority implements this for subscription requests,
+// NOTIFY handling, and IXFR serving.
+type PushHook interface {
+	HandleQuery(q *dnswire.Message, from netip.Addr) (*dnswire.Message, bool)
+}
+
 // Handle answers one decoded query.
 func (s *Server) Handle(q *dnswire.Message, from netip.Addr) *dnswire.Message {
-	resp := q.Reply()
 	question := q.Q()
+	if h := s.Push; h != nil {
+		if resp, ok := h.HandleQuery(q, from); ok {
+			s.logQuery(from, question, resp)
+			return resp
+		}
+	}
+	resp := q.Reply()
 	if question.Name == "" || q.Header.Opcode != dnswire.OpcodeQuery {
 		resp.Header.RCode = dnswire.RCodeNotImp
 		s.logQuery(from, question, resp)

@@ -233,6 +233,29 @@ func (f *Farm) account(idx int, res *resolver.Result, err error) (*resolver.Resu
 	return res, err
 }
 
+// Stores returns the fleet's cache stores — the single shared (or sharded)
+// store, or one store per frontend for the Private topology. A push
+// subscriber purging through exactly this set invalidates the whole fleet,
+// whatever the topology.
+func (f *Farm) Stores() []cache.Store {
+	if f.store != nil {
+		return []cache.Store{f.store}
+	}
+	out := make([]cache.Store, len(f.frontends))
+	for i, fe := range f.frontends {
+		out[i] = fe.Cache
+	}
+	return out
+}
+
+// SetStaleGate installs g on every frontend, so fleet-wide serve-stale
+// decisions consult the push plane's subscription health and purge record.
+func (f *Farm) SetStaleGate(g resolver.StaleGate) {
+	for _, fe := range f.frontends {
+		fe.StaleGate = g
+	}
+}
+
 // CacheStats aggregates the cache counters of the whole fleet.
 func (f *Farm) CacheStats() cache.Stats {
 	if f.store != nil {

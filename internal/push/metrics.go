@@ -1,0 +1,98 @@
+package push
+
+import "dnsttl/internal/obs"
+
+// Metric names the push plane registers. The push.* prefix is the
+// subscriber (resolver) side; push.feed_* is the authority side.
+const (
+	// MetricNotifies counts NOTIFY messages arriving at the subscriber.
+	MetricNotifies = "push.notifies"
+	// MetricNotifyDups counts NOTIFYs carrying an already-seen serial —
+	// duplicates and reorders acknowledged without a second purge.
+	MetricNotifyDups = "push.notify_dups"
+	// MetricIXFR counts incremental delta pulls completed.
+	MetricIXFR = "push.ixfr"
+	// MetricAXFRFallback counts pulls answered with the full-zone fallback
+	// because the feed's history no longer covered our serial.
+	MetricAXFRFallback = "push.axfr_fallback"
+	// MetricPurged counts cache entries removed by applied change sets.
+	MetricPurged = "push.purged"
+	// MetricRefetches counts purge+prefetch re-resolutions triggered.
+	MetricRefetches = "push.refetches"
+	// MetricSubscribes counts successful zone subscriptions.
+	MetricSubscribes = "push.subscribes"
+	// MetricSubscribeRetries counts failed subscription attempts (retried
+	// under the resolver's RetryPolicy backoff).
+	MetricSubscribeRetries = "push.subscribe_retries"
+	// MetricPolls counts SOA fallback polls sent when notifies go quiet.
+	MetricPolls = "push.polls"
+	// MetricPollRecoveries counts polls that found an advanced serial —
+	// changes the push channel lost, recovered via polling.
+	MetricPollRecoveries = "push.poll_recoveries"
+	// MetricStaleDenied counts serve-stale answers vetoed because the name
+	// was purged or its subscription was unhealthy.
+	MetricStaleDenied = "push.stale_denied"
+
+	// MetricFeedChanges counts zone change sets committed to feeds.
+	MetricFeedChanges = "push.feed_changes"
+	// MetricFeedNotifies counts NOTIFY messages fanned out to subscribers.
+	MetricFeedNotifies = "push.feed_notifies"
+	// MetricFeedSubscribers gauges the current subscriber registrations.
+	MetricFeedSubscribers = "push.feed_subscribers"
+	// MetricFeedIXFRServed counts incremental transfers served.
+	MetricFeedIXFRServed = "push.feed_ixfr_served"
+	// MetricFeedAXFRServed counts full-zone fallback transfers served.
+	MetricFeedAXFRServed = "push.feed_axfr_served"
+)
+
+// Metrics is the subscriber-side counter bundle. All handles are nil-safe,
+// so a Subscriber without a registry pays one pointer check per event.
+type Metrics struct {
+	Notifies         *obs.Counter
+	NotifyDups       *obs.Counter
+	IXFR             *obs.Counter
+	AXFRFallback     *obs.Counter
+	Purged           *obs.Counter
+	Refetches        *obs.Counter
+	Subscribes       *obs.Counter
+	SubscribeRetries *obs.Counter
+	Polls            *obs.Counter
+	PollRecoveries   *obs.Counter
+	StaleDenied      *obs.Counter
+}
+
+// NewMetrics resolves the subscriber bundle against reg (nil reg yields
+// nil-safe no-op handles).
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		Notifies:         reg.Counter(MetricNotifies),
+		NotifyDups:       reg.Counter(MetricNotifyDups),
+		IXFR:             reg.Counter(MetricIXFR),
+		AXFRFallback:     reg.Counter(MetricAXFRFallback),
+		Purged:           reg.Counter(MetricPurged),
+		Refetches:        reg.Counter(MetricRefetches),
+		Subscribes:       reg.Counter(MetricSubscribes),
+		SubscribeRetries: reg.Counter(MetricSubscribeRetries),
+		Polls:            reg.Counter(MetricPolls),
+		PollRecoveries:   reg.Counter(MetricPollRecoveries),
+		StaleDenied:      reg.Counter(MetricStaleDenied),
+	}
+}
+
+// AuthorityMetrics is the authority-side counter bundle.
+type AuthorityMetrics struct {
+	Changes    *obs.Counter
+	Notifies   *obs.Counter
+	IXFRServed *obs.Counter
+	AXFRServed *obs.Counter
+}
+
+// NewAuthorityMetrics resolves the authority bundle against reg.
+func NewAuthorityMetrics(reg *obs.Registry) *AuthorityMetrics {
+	return &AuthorityMetrics{
+		Changes:    reg.Counter(MetricFeedChanges),
+		Notifies:   reg.Counter(MetricFeedNotifies),
+		IXFRServed: reg.Counter(MetricFeedIXFRServed),
+		AXFRServed: reg.Counter(MetricFeedAXFRServed),
+	}
+}

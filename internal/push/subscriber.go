@@ -1,0 +1,710 @@
+package push
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dnsttl/internal/cache"
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/qlog"
+	"dnsttl/internal/resolver"
+	"dnsttl/internal/simnet"
+)
+
+// DefaultPollEvery is the SOA polling fallback period when Config leaves it
+// zero: how stale a subscriber can get when the push channel silently drops
+// every notify.
+const DefaultPollEvery = 5 * time.Minute
+
+// Config parameterizes a Subscriber.
+type Config struct {
+	// Addr is the subscriber's own address — the source of its subscribe,
+	// poll, and IXFR exchanges, and (in simnet) where notifies arrive.
+	Addr netip.Addr
+	// Port is the notify-back UDP port advertised to authorities over real
+	// sockets; 0 means the simnet convention (notify the source address).
+	Port uint16
+	// Net carries the subscriber's exchanges.
+	Net simnet.Exchanger
+	// Clock drives polling, health, and purge timestamps; nil means wall.
+	Clock simnet.Clock
+	// Retry paces resubscribe attempts after failures: attempt n waits
+	// Retry.BackoffFor(n). The zero value retries on every Tick.
+	Retry resolver.RetryPolicy
+	// Stores are the caches purges apply to — one per farm frontend for
+	// private topologies, a single shared store otherwise.
+	Stores []cache.Store
+	// Refetch, when non-nil, is called for every purged key (purge+prefetch
+	// mode): re-resolve immediately so the next client query is fresh and
+	// never charged the upstream round trip.
+	Refetch func(name dnswire.Name, qtype dnswire.Type)
+	// Metrics, when non-nil, mirrors the subscriber counters (NewMetrics).
+	Metrics *Metrics
+	// QLog, when non-nil, emits one notify-in record per NOTIFY received.
+	QLog *qlog.Tap
+	// PollEvery is the SOA polling fallback period; 0 means
+	// DefaultPollEvery. Polling also resynchronizes the serial after missed
+	// notifies, so it bounds the stale window under push-channel faults.
+	PollEvery time.Duration
+	// HealthAfter is how long a subscription may go without hearing from
+	// its authority (subscribe ack, notify, or poll reply) before it is
+	// unhealthy and serve-stale is vetoed for the names it covers; 0 means
+	// 2×PollEvery.
+	HealthAfter time.Duration
+}
+
+// zoneSub is one zone subscription's state.
+type zoneSub struct {
+	origin      dnswire.Name
+	server      netip.Addr
+	serial      uint32
+	subscribed  bool
+	failures    int
+	nextAttempt time.Time
+	lastSeen    time.Time
+	pulling     bool
+}
+
+// Subscriber is the resolver half of the push plane: it subscribes to zone
+// feeds, turns NOTIFYs into targeted cache purges (with optional immediate
+// refetch), falls back to SOA polling when the push channel goes quiet, and
+// implements resolver.StaleGate so purged or unvouched-for names are never
+// served stale. It is also a simnet.Handler — attach it at its address to
+// receive notifies on the simulated plane.
+type Subscriber struct {
+	cfg   Config
+	clock simnet.Clock
+
+	mu     sync.Mutex
+	zones  map[dnswire.Name]*zoneSub
+	purged map[cache.Key]time.Time
+
+	msgID atomic.Uint32
+
+	notifies         atomic.Uint64
+	notifyDups       atomic.Uint64
+	ixfr             atomic.Uint64
+	axfrFallback     atomic.Uint64
+	purgedN          atomic.Uint64
+	refetches        atomic.Uint64
+	subscribes       atomic.Uint64
+	subscribeRetries atomic.Uint64
+	polls            atomic.Uint64
+	pollRecoveries   atomic.Uint64
+	staleDenied      atomic.Uint64
+}
+
+// NewSubscriber builds a subscriber; call Subscribe per zone, then drive it
+// with Tick (and deliver notifies via ServeDNS or HandleNotifyWire).
+func NewSubscriber(cfg Config) *Subscriber {
+	if cfg.Clock == nil {
+		cfg.Clock = simnet.WallClock{}
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = DefaultPollEvery
+	}
+	if cfg.HealthAfter <= 0 {
+		cfg.HealthAfter = 2 * cfg.PollEvery
+	}
+	return &Subscriber{
+		cfg:    cfg,
+		clock:  cfg.Clock,
+		zones:  make(map[dnswire.Name]*zoneSub),
+		purged: make(map[cache.Key]time.Time),
+	}
+}
+
+// Stats is a snapshot of the subscriber's counters.
+type Stats struct {
+	Notifies         uint64
+	NotifyDups       uint64
+	IXFR             uint64
+	AXFRFallback     uint64
+	Purged           uint64
+	Refetches        uint64
+	Subscribes       uint64
+	SubscribeRetries uint64
+	Polls            uint64
+	PollRecoveries   uint64
+	StaleDenied      uint64
+}
+
+// Stats snapshots the counters.
+func (s *Subscriber) Stats() Stats {
+	return Stats{
+		Notifies:         s.notifies.Load(),
+		NotifyDups:       s.notifyDups.Load(),
+		IXFR:             s.ixfr.Load(),
+		AXFRFallback:     s.axfrFallback.Load(),
+		Purged:           s.purgedN.Load(),
+		Refetches:        s.refetches.Load(),
+		Subscribes:       s.subscribes.Load(),
+		SubscribeRetries: s.subscribeRetries.Load(),
+		Polls:            s.polls.Load(),
+		PollRecoveries:   s.pollRecoveries.Load(),
+		StaleDenied:      s.staleDenied.Load(),
+	}
+}
+
+// PollEvery reports the effective SOA polling fallback period.
+func (s *Subscriber) PollEvery() time.Duration { return s.cfg.PollEvery }
+
+// Subscribe registers interest in origin served at server and attempts the
+// subscription immediately; failures are retried from Tick under the
+// configured RetryPolicy backoff.
+func (s *Subscriber) Subscribe(origin dnswire.Name, server netip.Addr) {
+	s.mu.Lock()
+	zs := s.zones[origin]
+	if zs == nil {
+		zs = &zoneSub{origin: origin, server: server}
+		s.zones[origin] = zs
+	} else {
+		zs.server = server
+	}
+	s.mu.Unlock()
+	s.trySubscribe(zs)
+}
+
+// Healthy reports whether origin's subscription has heard from its
+// authority within the health window.
+func (s *Subscriber) Healthy(origin dnswire.Name) bool {
+	s.mu.Lock()
+	zs := s.zones[origin]
+	s.mu.Unlock()
+	if zs == nil {
+		return false
+	}
+	now := s.clock.Now()
+	s.mu.Lock()
+	ok := s.healthyLocked(zs, now)
+	s.mu.Unlock()
+	return ok
+}
+
+func (s *Subscriber) healthyLocked(zs *zoneSub, now time.Time) bool {
+	return zs.subscribed && !zs.lastSeen.IsZero() &&
+		now.Sub(zs.lastSeen) < s.cfg.HealthAfter
+}
+
+// Tick advances the subscription manager to now: resubscribe attempts come
+// due under the RetryPolicy backoff, and zones that have not heard from
+// their authority for PollEvery get an SOA poll — the fallback that bounds
+// staleness when the push channel drops notifies. Zones are visited in
+// sorted order so simulated runs are deterministic.
+func (s *Subscriber) Tick(now time.Time) {
+	s.mu.Lock()
+	origins := make([]dnswire.Name, 0, len(s.zones))
+	for o := range s.zones {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	subs := make([]*zoneSub, len(origins))
+	for i, o := range origins {
+		subs[i] = s.zones[o]
+	}
+	s.mu.Unlock()
+	for _, zs := range subs {
+		s.mu.Lock()
+		needSub := !zs.subscribed && !now.Before(zs.nextAttempt)
+		needPoll := zs.subscribed && (zs.lastSeen.IsZero() || now.Sub(zs.lastSeen) >= s.cfg.PollEvery)
+		s.mu.Unlock()
+		if needSub {
+			s.trySubscribe(zs)
+		} else if needPoll {
+			s.poll(zs)
+		}
+	}
+}
+
+// trySubscribe sends one subscription request; on success it adopts the
+// answered serial (pulling any changes missed while unsubscribed).
+func (s *Subscriber) trySubscribe(zs *zoneSub) {
+	req := &dnswire.Message{
+		Header: dnswire.Header{
+			ID:     uint16(s.msgID.Add(1)),
+			Opcode: dnswire.OpcodeNotify,
+		},
+		Question: []dnswire.Question{{Name: zs.origin, Type: TypeIXFR, Class: dnswire.ClassIN}},
+	}
+	if s.cfg.Port != 0 {
+		req.AddAdditional(dnswire.RR{
+			Name: zs.origin, Type: dnswire.TypeA, Class: dnswire.ClassIN,
+			TTL: uint32(s.cfg.Port), Data: dnswire.A{Addr: s.cfg.Addr},
+		})
+	}
+	serial, err := s.exchangeForSOA(zs.server, req)
+	now := s.clock.Now()
+	if err != nil {
+		s.mu.Lock()
+		zs.failures++
+		zs.nextAttempt = now.Add(s.cfg.Retry.BackoffFor(zs.failures))
+		s.mu.Unlock()
+		s.subscribeRetries.Add(1)
+		s.cfg.Metrics.subscribeRetriesInc()
+		return
+	}
+	s.mu.Lock()
+	zs.subscribed = true
+	zs.failures = 0
+	zs.lastSeen = now
+	prev := zs.serial
+	firstContact := prev == 0
+	if firstContact || serial <= prev {
+		// First contact adopts the zone as-is; nothing cached under the
+		// subscription predates it.
+		zs.serial = serial
+	}
+	s.mu.Unlock()
+	s.subscribes.Add(1)
+	s.cfg.Metrics.subscribesInc()
+	if !firstContact && serial > prev {
+		s.pull(zs)
+	}
+}
+
+// poll sends one SOA query; an advanced serial means notifies were lost and
+// is recovered with a pull, a failed poll drops the subscription back into
+// resubscribe/backoff.
+func (s *Subscriber) poll(zs *zoneSub) {
+	s.mu.Lock()
+	if zs.pulling {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.polls.Add(1)
+	s.cfg.Metrics.pollsInc()
+	req := dnswire.NewIterativeQuery(uint16(s.msgID.Add(1)), zs.origin, dnswire.TypeSOA)
+	serial, err := s.exchangeForSOA(zs.server, req)
+	now := s.clock.Now()
+	if err != nil {
+		s.mu.Lock()
+		zs.subscribed = false
+		zs.failures++
+		zs.nextAttempt = now.Add(s.cfg.Retry.BackoffFor(zs.failures))
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Lock()
+	zs.lastSeen = now
+	behind := serial > zs.serial
+	s.mu.Unlock()
+	if behind {
+		s.pollRecoveries.Add(1)
+		s.cfg.Metrics.pollRecoveriesInc()
+		s.pull(zs)
+	}
+}
+
+// exchangeForSOA sends req to server and returns the serial of the SOA in
+// the response's answer section.
+func (s *Subscriber) exchangeForSOA(server netip.Addr, req *dnswire.Message) (uint32, error) {
+	wire, err := dnswire.Encode(req)
+	if err != nil {
+		return 0, err
+	}
+	respWire, _, err := s.cfg.Net.Exchange(s.cfg.Addr, server, wire)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := dnswire.Decode(respWire)
+	if err != nil {
+		return 0, err
+	}
+	if resp.Header.RCode != dnswire.RCodeNoError {
+		return 0, fmt.Errorf("push: %s answered %s", server, resp.Header.RCode)
+	}
+	for _, rr := range resp.Answer {
+		if soa, ok := rr.Data.(dnswire.SOA); ok {
+			return soa.Serial, nil
+		}
+	}
+	return 0, fmt.Errorf("push: response from %s carries no SOA", server)
+}
+
+// ServeDNS implements simnet.Handler: NOTIFYs arriving at the subscriber's
+// address are acknowledged (RFC 1996 §4.7) and drive a pull; anything else
+// is refused.
+func (s *Subscriber) ServeDNS(wire []byte, from netip.Addr) []byte {
+	return s.HandleNotifyWire(wire, from)
+}
+
+// HandleNotifyWire decodes one datagram, handles it if it is a NOTIFY, and
+// returns the ack wire (nil for non-NOTIFY traffic). RecursiveServer routes
+// NOTIFY-opcode datagrams here when push is enabled.
+func (s *Subscriber) HandleNotifyWire(wire []byte, from netip.Addr) []byte {
+	q, err := dnswire.Decode(wire)
+	if err != nil {
+		return nil
+	}
+	if q.Header.Opcode != dnswire.OpcodeNotify || q.Header.QR {
+		return nil
+	}
+	s.handleNotify(q, from)
+	ack := q.Reply()
+	ack.Header.AA = true
+	out, err := dnswire.Encode(ack)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// handleNotify books one NOTIFY: a new serial triggers a pull, an
+// already-seen serial is acknowledged without purging (at-most-once purge
+// per serial under duplicated or reordered notifies).
+func (s *Subscriber) handleNotify(q *dnswire.Message, from netip.Addr) {
+	origin := q.Q().Name
+	var serial uint32
+	for _, rr := range q.Answer {
+		if soa, ok := rr.Data.(dnswire.SOA); ok {
+			serial = soa.Serial
+		}
+	}
+	s.notifies.Add(1)
+	s.cfg.Metrics.notifiesInc()
+	if t := s.cfg.QLog; t != nil {
+		t.NotifyIn(from, origin, serial)
+	}
+	s.mu.Lock()
+	zs := s.zones[origin]
+	if zs == nil {
+		s.mu.Unlock()
+		return
+	}
+	zs.lastSeen = s.clock.Now()
+	if serial != 0 && serial <= zs.serial {
+		s.mu.Unlock()
+		s.notifyDups.Add(1)
+		s.cfg.Metrics.notifyDupsInc()
+		return
+	}
+	if zs.pulling {
+		// A pull is already in flight; it will land at the latest serial.
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.pull(zs)
+}
+
+// pull performs one IXFR exchange and applies the result to the stores.
+// At most one pull per zone is in flight at a time.
+func (s *Subscriber) pull(zs *zoneSub) {
+	s.mu.Lock()
+	if zs.pulling {
+		s.mu.Unlock()
+		return
+	}
+	zs.pulling = true
+	fromSerial := zs.serial
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		zs.pulling = false
+		s.mu.Unlock()
+	}()
+
+	req := dnswire.NewIterativeQuery(uint16(s.msgID.Add(1)), zs.origin, TypeIXFR)
+	req.AddAuthority(dnswire.RR{
+		Name: zs.origin, Type: dnswire.TypeSOA, Class: dnswire.ClassIN,
+		Data: dnswire.SOA{MName: zs.origin, RName: zs.origin, Serial: fromSerial},
+	})
+	wire, err := dnswire.Encode(req)
+	if err != nil {
+		return
+	}
+	respWire, _, err := s.cfg.Net.Exchange(s.cfg.Addr, zs.server, wire)
+	if err != nil {
+		return
+	}
+	resp, err := dnswire.Decode(respWire)
+	if err != nil || resp.Header.RCode != dnswire.RCodeNoError {
+		return
+	}
+	cur, changes, full, upToDate, err := parseIXFR(resp.Answer)
+	if err != nil {
+		return
+	}
+	now := s.clock.Now()
+	switch {
+	case upToDate || cur <= fromSerial:
+		// Nothing to apply.
+	case full != nil:
+		s.axfrFallback.Add(1)
+		s.cfg.Metrics.axfrFallbackInc()
+		s.applyFull(zs.origin, now)
+	default:
+		s.ixfr.Add(1)
+		s.cfg.Metrics.ixfrInc()
+		s.applyChanges(zs.origin, changes, now)
+	}
+	s.mu.Lock()
+	if cur > zs.serial {
+		zs.serial = cur
+	}
+	zs.lastSeen = now
+	s.mu.Unlock()
+}
+
+// applyChanges purges every (name, type) a delta touched — NS sets also
+// purge their glue via the cache's O(glue) index — and refetches what was
+// actually evicted when purge+prefetch is on.
+func (s *Subscriber) applyChanges(origin dnswire.Name, changes []ChangeSet, now time.Time) {
+	seen := make(map[cache.Key]struct{})
+	var keys []cache.Key
+	for _, cs := range changes {
+		for _, sec := range [2][]dnswire.RR{cs.Del, cs.Add} {
+			for _, rr := range sec {
+				k := cache.Key{Name: rr.Name, Type: rr.Type}
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				keys = append(keys, k)
+			}
+		}
+	}
+	s.purgeKeys(keys, now)
+}
+
+// applyFull is the fallback path: with no delta to target, every cached key
+// under the zone is purged.
+func (s *Subscriber) applyFull(origin dnswire.Name, now time.Time) {
+	seen := make(map[cache.Key]struct{})
+	var keys []cache.Key
+	for _, store := range s.cfg.Stores {
+		for _, k := range store.Keys() {
+			if !k.Name.IsSubdomainOf(origin) {
+				continue
+			}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Type < keys[j].Type
+	})
+	s.purgeKeys(keys, now)
+}
+
+// purgeKeys removes the keys from every store, records the purge instants
+// for the stale gate, and refetches evicted keys in purge+prefetch mode.
+func (s *Subscriber) purgeKeys(keys []cache.Key, now time.Time) {
+	var refetch []cache.Key
+	for _, k := range keys {
+		removed := false
+		for _, store := range s.cfg.Stores {
+			if store.Remove(k.Name, k.Type) {
+				removed = true
+				s.purgedN.Add(1)
+				s.cfg.Metrics.purgedInc()
+			}
+			if k.Type == dnswire.TypeNS {
+				n := store.PurgeGlueOf(k.Name)
+				if n > 0 {
+					s.purgedN.Add(uint64(n))
+					s.cfg.Metrics.purgedAdd(uint64(n))
+				}
+			}
+		}
+		if removed && k.Type != dnswire.TypeSOA {
+			refetch = append(refetch, k)
+		}
+	}
+	s.mu.Lock()
+	for _, k := range keys {
+		s.purged[k] = now
+	}
+	s.prunePurgedLocked(now)
+	s.mu.Unlock()
+	if fn := s.cfg.Refetch; fn != nil {
+		for _, k := range refetch {
+			s.refetches.Add(1)
+			s.cfg.Metrics.refetchesInc()
+			fn(k.Name, k.Type)
+		}
+	}
+}
+
+// prunePurgedLocked bounds the purge-instant map: once it outgrows 4096
+// entries, stamps older than an hour are dropped — far past any serve-stale
+// window they could still veto.
+func (s *Subscriber) prunePurgedLocked(now time.Time) {
+	if len(s.purged) <= 4096 {
+		return
+	}
+	cutoff := now.Add(-time.Hour)
+	for k, t := range s.purged {
+		if t.Before(cutoff) {
+			delete(s.purged, k)
+		}
+	}
+}
+
+// AllowStale implements resolver.StaleGate. Names outside any subscribed
+// zone pass through; a covered name is denied when its subscription is
+// unhealthy (missed purges are possible) or when the entry predates a
+// recorded purge of that key (known-superseded data).
+func (s *Subscriber) AllowStale(name dnswire.Name, qtype dnswire.Type, storedAt time.Time) bool {
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zs *zoneSub
+	for n := name; ; n = n.Parent() {
+		if sub, ok := s.zones[n]; ok {
+			zs = sub
+			break
+		}
+		if n.IsRoot() {
+			break
+		}
+	}
+	if zs == nil {
+		return true
+	}
+	if !s.healthyLocked(zs, now) {
+		s.staleDenied.Add(1)
+		s.cfg.Metrics.staleDeniedInc()
+		return false
+	}
+	if t, ok := s.purged[cache.Key{Name: name, Type: qtype}]; ok && !storedAt.After(t) {
+		s.staleDenied.Add(1)
+		s.cfg.Metrics.staleDeniedInc()
+		return false
+	}
+	return true
+}
+
+// parseIXFR classifies an IXFR answer section: up to date (lone SOA),
+// incremental (second record is an SOA: RFC 1995 Del/Add sections), or the
+// AXFR-shaped full zone (full != nil holds the zone's non-SOA records).
+func parseIXFR(ans []dnswire.RR) (cur uint32, changes []ChangeSet, full []dnswire.RR, upToDate bool, err error) {
+	if len(ans) == 0 {
+		return 0, nil, nil, false, fmt.Errorf("push: empty transfer response")
+	}
+	head, ok := ans[0].Data.(dnswire.SOA)
+	if !ok || ans[0].Type != dnswire.TypeSOA {
+		return 0, nil, nil, false, fmt.Errorf("push: transfer not SOA-framed")
+	}
+	cur = head.Serial
+	if len(ans) == 1 {
+		return cur, nil, nil, true, nil
+	}
+	if ans[1].Type != dnswire.TypeSOA {
+		if ans[len(ans)-1].Type != dnswire.TypeSOA {
+			return 0, nil, nil, false, fmt.Errorf("push: full transfer missing trailing SOA")
+		}
+		return cur, nil, ans[1 : len(ans)-1], false, nil
+	}
+	i := 1
+	for i < len(ans) {
+		soa, ok := ans[i].Data.(dnswire.SOA)
+		if !ok || ans[i].Type != dnswire.TypeSOA {
+			return 0, nil, nil, false, fmt.Errorf("push: delta section not led by SOA")
+		}
+		if i == len(ans)-1 {
+			if soa.Serial != cur {
+				return 0, nil, nil, false, fmt.Errorf("push: trailing SOA serial %d != %d", soa.Serial, cur)
+			}
+			break
+		}
+		cs := ChangeSet{From: soa.Serial, Del: []dnswire.RR{ans[i]}}
+		i++
+		for i < len(ans) && ans[i].Type != dnswire.TypeSOA {
+			cs.Del = append(cs.Del, ans[i])
+			i++
+		}
+		if i >= len(ans) {
+			return 0, nil, nil, false, fmt.Errorf("push: delta missing add section")
+		}
+		addSOA, ok := ans[i].Data.(dnswire.SOA)
+		if !ok {
+			return 0, nil, nil, false, fmt.Errorf("push: add section not led by SOA")
+		}
+		cs.To = addSOA.Serial
+		cs.Add = []dnswire.RR{ans[i]}
+		i++
+		for i < len(ans) && ans[i].Type != dnswire.TypeSOA {
+			cs.Add = append(cs.Add, ans[i])
+			i++
+		}
+		changes = append(changes, cs)
+	}
+	if len(changes) == 0 {
+		return cur, nil, nil, true, nil
+	}
+	return cur, changes, nil, false, nil
+}
+
+// Nil-safe increment helpers mirroring into the registry bundle.
+func (m *Metrics) notifiesInc() {
+	if m != nil {
+		m.Notifies.Inc()
+	}
+}
+func (m *Metrics) notifyDupsInc() {
+	if m != nil {
+		m.NotifyDups.Inc()
+	}
+}
+func (m *Metrics) ixfrInc() {
+	if m != nil {
+		m.IXFR.Inc()
+	}
+}
+func (m *Metrics) axfrFallbackInc() {
+	if m != nil {
+		m.AXFRFallback.Inc()
+	}
+}
+func (m *Metrics) purgedInc() {
+	if m != nil {
+		m.Purged.Inc()
+	}
+}
+func (m *Metrics) purgedAdd(n uint64) {
+	if m != nil {
+		m.Purged.Add(n)
+	}
+}
+func (m *Metrics) refetchesInc() {
+	if m != nil {
+		m.Refetches.Inc()
+	}
+}
+func (m *Metrics) subscribesInc() {
+	if m != nil {
+		m.Subscribes.Inc()
+	}
+}
+func (m *Metrics) subscribeRetriesInc() {
+	if m != nil {
+		m.SubscribeRetries.Inc()
+	}
+}
+func (m *Metrics) pollsInc() {
+	if m != nil {
+		m.Polls.Inc()
+	}
+}
+func (m *Metrics) pollRecoveriesInc() {
+	if m != nil {
+		m.PollRecoveries.Inc()
+	}
+}
+func (m *Metrics) staleDeniedInc() {
+	if m != nil {
+		m.StaleDenied.Inc()
+	}
+}

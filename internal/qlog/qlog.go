@@ -41,6 +41,10 @@ const (
 	PointResponseOut
 	// PointUpstream marks one upstream exchange performed by a resolver.
 	PointUpstream
+	// PointNotify marks a push-plane NOTIFY arriving at a subscriber
+	// (internal/push). Its Record reuses Name for the zone origin and TTL
+	// for the advertised zone serial.
+	PointNotify
 )
 
 // String renders the point's JSONL spelling.
@@ -52,6 +56,8 @@ func (p Point) String() string {
 		return "response"
 	case PointUpstream:
 		return "upstream"
+	case PointNotify:
+		return "notify"
 	}
 	return "unknown"
 }
@@ -65,6 +71,8 @@ func ParsePoint(s string) (Point, error) {
 		return PointResponseOut, nil
 	case "upstream":
 		return PointUpstream, nil
+	case "notify":
+		return PointNotify, nil
 	}
 	return 0, fmt.Errorf("qlog: unknown capture point %q", s)
 }
@@ -251,11 +259,12 @@ const (
 	MaskClientIn    PointMask = 1 << PointClientIn
 	MaskResponseOut PointMask = 1 << PointResponseOut
 	MaskUpstream    PointMask = 1 << PointUpstream
-	MaskAll                   = MaskClientIn | MaskResponseOut | MaskUpstream
+	MaskNotify      PointMask = 1 << PointNotify
+	MaskAll                   = MaskClientIn | MaskResponseOut | MaskUpstream | MaskNotify
 )
 
 // ParsePointMask parses a comma-separated point list ("client,response,
-// upstream" or "all").
+// upstream,notify" or "all").
 func ParsePointMask(s string) (PointMask, error) {
 	if s == "" || s == "all" {
 		return MaskAll, nil
@@ -570,6 +579,23 @@ func (t *Tap) ResponseOut(client netip.Addr, name dnswire.Name, qtype dnswire.Ty
 		Outcome:   outcome,
 		RCode:     rcode,
 		TTL:       ttl,
+		Transport: t.transport,
+	})
+}
+
+// NotifyIn records a push-plane NOTIFY for zone arriving from an
+// authoritative server. The advertised serial rides in the TTL field.
+func (t *Tap) NotifyIn(from netip.Addr, zone dnswire.Name, serial uint32) {
+	if t == nil {
+		return
+	}
+	t.l.Emit(&Record{
+		Time:      t.l.Now(),
+		Client:    from,
+		Name:      zone,
+		Type:      dnswire.TypeSOA,
+		Point:     PointNotify,
+		TTL:       serial,
 		Transport: t.transport,
 	})
 }

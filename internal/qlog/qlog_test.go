@@ -344,7 +344,9 @@ func TestParsePointMask(t *testing.T) {
 		{"all", MaskAll, false},
 		{"response", MaskResponseOut, false},
 		{"client,upstream", MaskClientIn | MaskUpstream, false},
-		{"client,response,upstream", MaskAll, false},
+		{"client,response,upstream", MaskClientIn | MaskResponseOut | MaskUpstream, false},
+		{"client,response,upstream,notify", MaskAll, false},
+		{"notify", MaskNotify, false},
 		{"bogus", 0, true},
 	} {
 		got, err := ParsePointMask(tc.in)

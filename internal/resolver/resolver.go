@@ -91,6 +91,11 @@ type Resolver struct {
 	// attempt (server, question, rcode, TTL, RTT, timeout/error outcome).
 	// Nil costs one pointer check per attempt.
 	QLog *qlog.Tap
+	// StaleGate, when non-nil, is consulted before serving a stale answer
+	// (Policy.ServeStale). The push plane installs its subscriber here so a
+	// name purged by NOTIFY — or covered by an unhealthy subscription that
+	// may have missed purges — is never served stale from a pre-purge entry.
+	StaleGate StaleGate
 
 	mu     sync.Mutex
 	rng    *rand.Rand
@@ -430,10 +435,24 @@ func clampLabel(in, out uint32) string {
 	return fmt.Sprintf("%d->%d", in, out)
 }
 
+// StaleGate vetoes RFC 8767 serve-stale answers. AllowStale is asked with
+// the candidate entry's store time; returning false forces the error path
+// (SERVFAIL) instead of the stale answer. The push plane's subscriber
+// implements this: stale is fine for plain TTL expiry, but an entry that a
+// NOTIFY purged — or that an unhealthy subscription can no longer vouch
+// for — is known-superseded, not merely old.
+type StaleGate interface {
+	AllowStale(name dnswire.Name, qtype dnswire.Type, storedAt time.Time) bool
+}
+
 // fail is the terminal error path: serve stale if allowed, else SERVFAIL.
 func (r *Resolver) fail(name dnswire.Name, qtype dnswire.Type, res *Result, err error) error {
 	if r.Policy.ServeStale {
 		if e, rem, ok := r.Cache.GetStale(name, qtype); ok && e.Negative == cache.NotNegative {
+			if g := r.StaleGate; g != nil && !g.AllowStale(name, qtype, e.Stored) {
+				res.Span.Annotate("serve_stale_denied", string(name))
+				return err
+			}
 			res.Stale = true
 			res.Span.Annotate("serve_stale", string(name))
 			for _, rr := range e.RRs {

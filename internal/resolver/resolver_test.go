@@ -512,3 +512,58 @@ func TestAnswersHaveRAFlag(t *testing.T) {
 		t.Errorf("client response header: %+v", res.Msg.Header)
 	}
 }
+
+// denyGate is a scripted StaleGate: it vetoes exactly the keys in deny and
+// counts every veto.
+type denyGate struct {
+	deny   map[cache.Key]bool
+	denied int
+}
+
+func (g *denyGate) AllowStale(name dnswire.Name, qtype dnswire.Type, storedAt time.Time) bool {
+	if g.deny[cache.Key{Name: name, Type: qtype}] {
+		g.denied++
+		return false
+	}
+	return true
+}
+
+// TestServeStaleGate is the push-plane regression: a name the gate vetoes
+// (purged by NOTIFY, or covered by an unhealthy subscription) must never be
+// served stale — the resolver fails instead of answering known-superseded
+// data. Ungated names keep the RFC 8767 behavior.
+func TestServeStaleGate(t *testing.T) {
+	tn := newTestNet(t)
+	pol := DefaultPolicy()
+	pol.ServeStale = true
+	r := tn.resolver(pol, 1)
+	www := dnswire.NewName("www.cachetest.net")
+	gate := &denyGate{deny: map[cache.Key]bool{{Name: www, Type: dnswire.TypeA}: true}}
+	r.StaleGate = gate
+
+	mustResolve(t, r, "www.cachetest.net", dnswire.TypeA)
+	mustResolve(t, r, "alias.cachetest.net", dnswire.TypeA)
+	for _, a := range []netip.Addr{tn.rootAddr, tn.netAddr, tn.ctAddr} {
+		if err := tn.net.SetDown(a, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn.clock.Advance(15 * time.Minute)
+
+	// Vetoed name: SERVFAIL, not a stale answer.
+	res, _ := r.Resolve(www, dnswire.TypeA)
+	if res.Stale || res.Msg.Header.RCode != dnswire.RCodeServFail {
+		t.Fatalf("gated name served stale: stale=%v rcode=%s", res.Stale, res.Msg.Header.RCode)
+	}
+	if gate.denied == 0 {
+		t.Fatal("gate was never consulted")
+	}
+
+	// The gate stops vetoing (re-subscribe succeeded, purge superseded):
+	// stale serving resumes.
+	gate.deny = nil
+	res, err := r.Resolve(www, dnswire.TypeA)
+	if err != nil || !res.Stale {
+		t.Fatalf("ungated name not served stale: stale=%v err=%v", res.Stale, err)
+	}
+}

@@ -103,6 +103,11 @@ func (rp RetryPolicy) backoffFor(n int) time.Duration {
 	return time.Duration(b)
 }
 
+// BackoffFor exposes the pre-jitter retry delay sequence (retry number
+// n >= 1) for other planes that schedule retries under this policy — the
+// push subscriber paces resubscribe attempts with it.
+func (rp RetryPolicy) BackoffFor(n int) time.Duration { return rp.backoffFor(n) }
+
 // jitterFor draws the randomized addition for a backoff b from rng. The
 // result is always in [0, Jitter·b).
 func (rp RetryPolicy) jitterFor(b time.Duration, rng *rand.Rand) time.Duration {

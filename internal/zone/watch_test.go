@@ -1,0 +1,157 @@
+package zone
+
+import (
+	"sync"
+	"testing"
+
+	"dnsttl/internal/dnswire"
+)
+
+func watchedZone(t *testing.T) (*Zone, *[]Change) {
+	t.Helper()
+	z := New(dnswire.NewName("example.org"))
+	z.MustAdd(dnswire.NewSOA("example.org", 3600, "ns1.example.org", "admin.example.org", 1, 7200, 3600, 1209600, 300))
+	var events []Change
+	z.SetWatcher(func(ch Change) { events = append(events, ch) })
+	return z, &events
+}
+
+// TestWatcherEvents pins the Change stream each mutator produces.
+func TestWatcherEvents(t *testing.T) {
+	z, events := watchedZone(t)
+	www := dnswire.NewName("www.example.org")
+
+	z.MustAdd(dnswire.NewA("www.example.org", 300, "192.0.2.1"))
+	if len(*events) != 1 {
+		t.Fatalf("after Add: %d events, want 1", len(*events))
+	}
+	ev := (*events)[0]
+	if ev.Name != www || ev.Type != dnswire.TypeA || len(ev.Old) != 0 || len(ev.New) != 1 {
+		t.Fatalf("Add event = %+v", ev)
+	}
+
+	// Duplicate RDATA changes nothing and must not fire.
+	z.MustAdd(dnswire.NewA("www.example.org", 300, "192.0.2.1"))
+	if len(*events) != 1 {
+		t.Fatalf("duplicate Add fired an event")
+	}
+
+	if err := z.Replace(www, dnswire.TypeA, dnswire.NewA("www.example.org", 300, "192.0.2.2")); err != nil {
+		t.Fatal(err)
+	}
+	if len(*events) != 2 {
+		t.Fatalf("after Replace: %d events, want 2 (Replace must be one atomic event)", len(*events))
+	}
+	ev = (*events)[1]
+	if len(ev.Old) != 1 || len(ev.New) != 1 {
+		t.Fatalf("Replace event = %+v", ev)
+	}
+	if ev.Old[0].Data.(dnswire.A).Addr.String() != "192.0.2.1" ||
+		ev.New[0].Data.(dnswire.A).Addr.String() != "192.0.2.2" {
+		t.Fatalf("Replace old/new mismatch: %+v", ev)
+	}
+
+	if !z.SetTTL(www, dnswire.TypeA, 60) {
+		t.Fatal("SetTTL missed the set")
+	}
+	if len(*events) != 3 {
+		t.Fatalf("after SetTTL: %d events, want 3", len(*events))
+	}
+	if (*events)[2].New[0].TTL != 60 {
+		t.Fatalf("SetTTL event TTL = %d", (*events)[2].New[0].TTL)
+	}
+	// Same TTL again: no change, no event.
+	z.SetTTL(www, dnswire.TypeA, 60)
+	if len(*events) != 3 {
+		t.Fatalf("no-op SetTTL fired an event")
+	}
+
+	if !z.Remove(www, dnswire.TypeA) {
+		t.Fatal("Remove missed the set")
+	}
+	if len(*events) != 4 {
+		t.Fatalf("after Remove: %d events, want 4", len(*events))
+	}
+	ev = (*events)[3]
+	if len(ev.Old) != 1 || len(ev.New) != 0 {
+		t.Fatalf("Remove event = %+v", ev)
+	}
+	if z.Remove(www, dnswire.TypeA) {
+		t.Fatal("second Remove reported true")
+	}
+	if len(*events) != 4 {
+		t.Fatalf("no-op Remove fired an event")
+	}
+}
+
+// TestSetSerial pins that SetSerial rewrites the SOA without firing the
+// watcher — it is the feed's own stamp, not a zone change.
+func TestSetSerial(t *testing.T) {
+	z, events := watchedZone(t)
+	if z.Serial() != 1 {
+		t.Fatalf("initial serial = %d", z.Serial())
+	}
+	if !z.SetSerial(42) {
+		t.Fatal("SetSerial failed")
+	}
+	if z.Serial() != 42 {
+		t.Fatalf("serial after SetSerial = %d", z.Serial())
+	}
+	if len(*events) != 0 {
+		t.Fatalf("SetSerial fired %d watcher events", len(*events))
+	}
+	empty := New(dnswire.NewName("empty.org"))
+	if empty.SetSerial(1) {
+		t.Fatal("SetSerial on a zone without SOA reported true")
+	}
+}
+
+// TestWatcherReadsZone pins the locking contract: the watcher may read the
+// zone and call SetSerial from inside the callback.
+func TestWatcherReadsZone(t *testing.T) {
+	z := New(dnswire.NewName("example.org"))
+	z.MustAdd(dnswire.NewSOA("example.org", 3600, "ns1.example.org", "admin.example.org", 7, 7200, 3600, 1209600, 300))
+	z.SetWatcher(func(ch Change) {
+		if _, ok := z.SOA(); !ok {
+			t.Error("watcher could not read the zone")
+		}
+		z.SetSerial(z.Serial() + 1)
+	})
+	z.MustAdd(dnswire.NewA("www.example.org", 300, "192.0.2.1"))
+	if z.Serial() != 8 {
+		t.Fatalf("serial after watched Add = %d, want 8", z.Serial())
+	}
+}
+
+// TestWatcherOrdering pins that concurrent mutations deliver their events
+// serialized and in commit order (watchMu), so a feed's history can never
+// interleave two mutations.
+func TestWatcherOrdering(t *testing.T) {
+	z := New(dnswire.NewName("example.org"))
+	z.MustAdd(dnswire.NewSOA("example.org", 3600, "ns1.example.org", "admin.example.org", 1, 7200, 3600, 1209600, 300))
+	inWatcher := false
+	count := 0
+	z.SetWatcher(func(ch Change) {
+		if inWatcher {
+			t.Error("watcher reentered concurrently")
+		}
+		inWatcher = true
+		count++
+		inWatcher = false
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ttl := uint32(60 + (g*50+i)%600)
+				z.SetTTL(dnswire.NewName("example.org"), dnswire.TypeSOA, ttl)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if count == 0 {
+		t.Fatal("no watcher events delivered")
+	}
+}

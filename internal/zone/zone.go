@@ -29,10 +29,28 @@ func (s *RRSet) Clone() *RRSet {
 	return &c
 }
 
+// Change describes one committed zone mutation: the RRset for (Name, Type)
+// went from Old to New. Either side may be nil (pure add, pure delete).
+// Changes are what a push feed (internal/push) turns into IXFR-shaped
+// deltas, so the slices are clones the receiver may retain.
+type Change struct {
+	Name dnswire.Name
+	Type dnswire.Type
+	Old  []dnswire.RR
+	New  []dnswire.RR
+}
+
 // Zone is one zone of authority: an apex with an SOA, plus the names below
 // it up to (and including) any delegation points.
 type Zone struct {
 	mu sync.RWMutex
+	// watchMu serializes mutation+watcher pairs: every mutator takes it
+	// before mu and releases it only after the watcher callback returns, so
+	// concurrent mutations deliver their Change events in commit order. The
+	// watcher itself runs outside mu and may therefore read the zone and
+	// call SetSerial without deadlocking.
+	watchMu sync.Mutex
+	watcher func(Change)
 	// Origin is the zone apex.
 	Origin dnswire.Name
 	// sets maps owner name → type → RRset.
@@ -51,6 +69,58 @@ func New(origin dnswire.Name) *Zone {
 		sets:      make(map[dnswire.Name]map[dnswire.Type]*RRSet),
 		ancestors: make(map[dnswire.Name]int),
 	}
+}
+
+// SetWatcher installs fn to observe committed mutations (Add, Remove,
+// Replace, SetTTL). The callback runs synchronously with the zone unlocked
+// but the mutation stream serialized: events arrive in commit order, and fn
+// may read the zone or call SetSerial. A nil fn detaches the watcher.
+func (z *Zone) SetWatcher(fn func(Change)) {
+	z.watchMu.Lock()
+	defer z.watchMu.Unlock()
+	z.watcher = fn
+}
+
+// notify fires the watcher for a committed change. Callers hold watchMu and
+// have already released mu.
+func (z *Zone) notify(ch Change) {
+	if z.watcher != nil {
+		z.watcher(ch)
+	}
+}
+
+// SetSerial rewrites the SOA serial in place, reporting whether the zone has
+// an SOA. It deliberately does not fire the watcher: the push feed calls it
+// from inside its own change handler to stamp the serial it just allocated.
+func (z *Zone) SetSerial(serial uint32) bool {
+	z.mu.Lock()
+	defer z.mu.Unlock()
+	set := z.lookupSetLocked(z.Origin, dnswire.TypeSOA)
+	if set == nil || len(set.RRs) == 0 {
+		return false
+	}
+	for i := range set.RRs {
+		soa, ok := set.RRs[i].Data.(dnswire.SOA)
+		if !ok {
+			return false
+		}
+		soa.Serial = serial
+		set.RRs[i].Data = soa
+	}
+	return true
+}
+
+// Serial returns the zone's SOA serial, or 0 if the zone has no SOA.
+func (z *Zone) Serial() uint32 {
+	rr, ok := z.SOA()
+	if !ok {
+		return 0
+	}
+	soa, ok := rr.Data.(dnswire.SOA)
+	if !ok {
+		return 0
+	}
+	return soa.Serial
 }
 
 // indexOwnerLocked updates the ancestor index when owner gains (delta=1) or
@@ -75,11 +145,28 @@ func (z *Zone) Add(rr dnswire.RR) error {
 	if !rr.Name.IsSubdomainOf(z.Origin) {
 		return fmt.Errorf("zone %s: record %s out of zone", z.Origin, rr.Name)
 	}
+	z.watchMu.Lock()
+	defer z.watchMu.Unlock()
+	z.mu.Lock()
+	old := z.snapshotLocked(rr.Name, rr.Type)
+	added := z.addLocked(rr)
+	var next []dnswire.RR
+	if added {
+		next = z.snapshotLocked(rr.Name, rr.Type)
+	}
+	z.mu.Unlock()
+	if added {
+		z.notify(Change{Name: rr.Name, Type: rr.Type, Old: old, New: next})
+	}
+	return nil
+}
+
+// addLocked inserts rr under z.mu, reporting whether the zone changed
+// (false when rr duplicates existing RDATA).
+func (z *Zone) addLocked(rr dnswire.RR) bool {
 	if rr.TTL > dnswire.MaxTTL {
 		rr.TTL = 0 // RFC 2181 §8
 	}
-	z.mu.Lock()
-	defer z.mu.Unlock()
 	byType := z.sets[rr.Name]
 	if byType == nil {
 		byType = make(map[dnswire.Type]*RRSet)
@@ -93,12 +180,21 @@ func (z *Zone) Add(rr dnswire.RR) error {
 	}
 	for _, have := range set.RRs {
 		if have.Equal(rr) {
-			return nil
+			return false
 		}
 	}
 	rr.TTL = set.TTL
 	set.RRs = append(set.RRs, rr)
-	return nil
+	return true
+}
+
+// snapshotLocked clones the RRs of (name, t) under z.mu, or returns nil.
+func (z *Zone) snapshotLocked(name dnswire.Name, t dnswire.Type) []dnswire.RR {
+	set := z.lookupSetLocked(name, t)
+	if set == nil {
+		return nil
+	}
+	return append([]dnswire.RR(nil), set.RRs...)
 }
 
 // MustAdd is Add that panics; for tests and generators.
@@ -113,8 +209,20 @@ func (z *Zone) MustAdd(rrs ...dnswire.RR) {
 // Remove deletes the RRset for (name, t). It reports whether anything was
 // removed.
 func (z *Zone) Remove(name dnswire.Name, t dnswire.Type) bool {
+	z.watchMu.Lock()
+	defer z.watchMu.Unlock()
 	z.mu.Lock()
-	defer z.mu.Unlock()
+	old := z.snapshotLocked(name, t)
+	removed := z.removeLocked(name, t)
+	z.mu.Unlock()
+	if removed {
+		z.notify(Change{Name: name, Type: t, Old: old})
+	}
+	return removed
+}
+
+// removeLocked deletes the RRset for (name, t) under z.mu.
+func (z *Zone) removeLocked(name dnswire.Name, t dnswire.Type) bool {
 	byType := z.sets[name]
 	if byType == nil {
 		return false
@@ -138,12 +246,22 @@ func (z *Zone) Replace(name dnswire.Name, t dnswire.Type, rrs ...dnswire.RR) err
 		if rr.Name != name || rr.Type != t {
 			return fmt.Errorf("zone %s: Replace(%s, %s) given mismatched record %s", z.Origin, name, t, rr)
 		}
-	}
-	z.Remove(name, t)
-	for _, rr := range rrs {
-		if err := z.Add(rr); err != nil {
-			return err
+		if !rr.Name.IsSubdomainOf(z.Origin) {
+			return fmt.Errorf("zone %s: record %s out of zone", z.Origin, rr.Name)
 		}
+	}
+	z.watchMu.Lock()
+	defer z.watchMu.Unlock()
+	z.mu.Lock()
+	old := z.snapshotLocked(name, t)
+	z.removeLocked(name, t)
+	for _, rr := range rrs {
+		z.addLocked(rr)
+	}
+	next := z.snapshotLocked(name, t)
+	z.mu.Unlock()
+	if len(old) > 0 || len(next) > 0 {
+		z.notify(Change{Name: name, Type: t, Old: old, New: next})
 	}
 	return nil
 }
@@ -152,15 +270,24 @@ func (z *Zone) Replace(name dnswire.Name, t dnswire.Type, rrs ...dnswire.RR) err
 // set exists. This is the zone-operator action studied in §5.3 (".uy raised
 // its NS TTL from 300 s to 86400 s").
 func (z *Zone) SetTTL(name dnswire.Name, t dnswire.Type, ttl uint32) bool {
+	z.watchMu.Lock()
+	defer z.watchMu.Unlock()
 	z.mu.Lock()
-	defer z.mu.Unlock()
 	set := z.lookupSetLocked(name, t)
 	if set == nil {
+		z.mu.Unlock()
 		return false
 	}
+	old := append([]dnswire.RR(nil), set.RRs...)
+	changed := set.TTL != ttl
 	set.TTL = ttl
 	for i := range set.RRs {
 		set.RRs[i].TTL = ttl
+	}
+	next := append([]dnswire.RR(nil), set.RRs...)
+	z.mu.Unlock()
+	if changed {
+		z.notify(Change{Name: name, Type: t, Old: old, New: next})
 	}
 	return true
 }

@@ -1,0 +1,154 @@
+package dnsttl
+
+import (
+	"net"
+	"net/netip"
+	"time"
+
+	"dnsttl/internal/cache"
+	"dnsttl/internal/push"
+	"dnsttl/internal/resolver"
+)
+
+// PushAuthority is the authoritative half of the push-based invalidation
+// plane: it versions zones into change feeds, fans NOTIFYs out to
+// subscribers on every committed mutation, and serves the IXFR pulls those
+// NOTIFYs trigger. Obtain one with Server.EnablePush.
+type PushAuthority = push.Authority
+
+// PushAuthorityStats snapshots a PushAuthority's counters.
+type PushAuthorityStats = push.AuthorityStats
+
+// PushSubscriber is the resolver half: it subscribes to zone change feeds,
+// turns NOTIFYs into targeted cache purges (optionally purge+prefetch),
+// falls back to SOA polling when the push channel goes quiet, and vetoes
+// serve-stale for names it knows to be superseded. Obtain one with
+// RecursiveServer.EnablePush, then call Subscribe per zone and drive it
+// with Tick.
+type PushSubscriber = push.Subscriber
+
+// PushStats snapshots a PushSubscriber's counters.
+type PushStats = push.Stats
+
+// EnablePush publishes the given zones' change feeds through this server:
+// mutating them (Add, Remove, Replace, SetTTL) bumps the zone serial,
+// appends an IXFR-style delta to the feed history, and NOTIFYs every
+// subscriber over UDP. Subscription requests and IXFR pulls arrive through
+// the server's normal listeners. Call before mutating the zones.
+func (s *Server) EnablePush(zones ...*Zone) (*PushAuthority, error) {
+	a := push.NewAuthority()
+	a.Send = sendNotifyUDP
+	for _, z := range zones {
+		f, err := push.NewFeed(z, 0)
+		if err != nil {
+			return nil, err
+		}
+		a.AddFeed(f)
+	}
+	s.s.Push = a
+	return a, nil
+}
+
+// sendNotifyUDP fires one notify datagram and returns without waiting for
+// the ack: RFC 1996's retry discipline is deliberately left to the
+// subscriber's polling fallback, which bounds staleness even when every
+// notify is lost.
+func sendNotifyUDP(dst netip.AddrPort, wire []byte) error {
+	c, err := net.Dial("udp", dst.String())
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	_, err = c.Write(wire)
+	return err
+}
+
+// PushConfig configures RecursiveServer.EnablePush.
+type PushConfig struct {
+	// Addr is the subscriber's own address — the source of its subscribe,
+	// poll, and IXFR exchanges. Zero means 127.0.0.1.
+	Addr netip.Addr
+	// Port is the notify-back UDP port advertised when subscribing: the
+	// port of the daemon's UDP listener, whose NOTIFY-opcode datagrams are
+	// routed to the subscriber.
+	Port uint16
+	// Net carries the subscriber's exchanges; nil means real UDP on port 53.
+	Net Exchanger
+	// Clock drives polling, health, and purge timestamps; nil means wall.
+	Clock Clock
+	// Retry paces resubscribe attempts after failures.
+	Retry RetryPolicy
+	// PollEvery is the SOA polling fallback period (the staleness bound
+	// accepted when the push channel drops every notify); 0 means 5 m.
+	PollEvery time.Duration
+	// HealthAfter is how long a subscription may go silent before it is
+	// unhealthy and serve-stale is vetoed for the names it covers; 0 means
+	// 2×PollEvery.
+	HealthAfter time.Duration
+	// Prefetch re-resolves purged names immediately, so the next client
+	// query after an update is already a cache hit.
+	Prefetch bool
+	// Registry, when non-nil, mirrors the push.* counters.
+	Registry *Registry
+	// QueryLog, when non-nil, captures one notify-in record per NOTIFY.
+	QueryLog *QueryLogTap
+}
+
+// EnablePush attaches a push subscriber to the daemon: NOTIFY-opcode
+// datagrams arriving at any listener are routed to it, its purges apply to
+// the client's cache(s) fleet-wide, and the client's serve-stale decisions
+// consult its subscription health. Call Subscribe on the returned
+// subscriber per upstream zone, and Tick it periodically (resubscribes and
+// the polling fallback come due there).
+func (rs *RecursiveServer) EnablePush(cfg PushConfig) *PushSubscriber {
+	addr := cfg.Addr
+	if !addr.IsValid() {
+		addr = netip.MustParseAddr("127.0.0.1")
+	}
+	pnet := cfg.Net
+	if pnet == nil {
+		pnet = UDPNet{}
+	}
+	pcfg := push.Config{
+		Addr:        addr,
+		Port:        cfg.Port,
+		Net:         pnet,
+		Clock:       cfg.Clock,
+		Retry:       cfg.Retry,
+		Stores:      rs.Client.stores(),
+		PollEvery:   cfg.PollEvery,
+		HealthAfter: cfg.HealthAfter,
+		QLog:        cfg.QueryLog,
+	}
+	if cfg.Registry != nil {
+		pcfg.Metrics = push.NewMetrics(cfg.Registry)
+	}
+	if cfg.Prefetch {
+		pcfg.Refetch = func(name Name, qtype Type) {
+			_, _ = rs.Client.Lookup(name, qtype)
+		}
+	}
+	sub := push.NewSubscriber(pcfg)
+	rs.Client.setStaleGate(sub)
+	rs.push.Store(sub)
+	return sub
+}
+
+// stores returns the client's cache stores — one per farm frontend for
+// private topologies, a single store otherwise — the set a push subscriber
+// must purge through to invalidate the whole fleet.
+func (c *Client) stores() []cache.Store {
+	if c.f != nil {
+		return c.f.Stores()
+	}
+	return []cache.Store{c.r.Cache}
+}
+
+// setStaleGate installs g on every frontend (or the lone resolver).
+func (c *Client) setStaleGate(g resolver.StaleGate) {
+	if c.f != nil {
+		c.f.SetStaleGate(g)
+		return
+	}
+	c.r.StaleGate = g
+}

@@ -3,10 +3,12 @@ package dnsttl
 import (
 	"crypto/tls"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"dnsttl/internal/authoritative"
 	"dnsttl/internal/dnswire"
+	"dnsttl/internal/push"
 	"dnsttl/internal/qlog"
 )
 
@@ -22,6 +24,12 @@ type RecursiveServer struct {
 	// transport ("udp", "tcp", "dot", "doh"). Nil disables capture at the
 	// cost of one pointer check per query.
 	QueryLog *qlog.Logger
+
+	// push, when set, claims NOTIFY-opcode datagrams on every listener
+	// (see EnablePush): the change-feed plane's notifies purge the client's
+	// caches instead of being answered as queries. Atomic because
+	// EnablePush may race with already-running listeners.
+	push atomic.Pointer[push.Subscriber]
 
 	u   *authoritative.UDPServer
 	t   *authoritative.TCPServer
@@ -60,6 +68,11 @@ func (rs *RecursiveServer) serveDNS(wire []byte, from netip.Addr, tap *qlog.Tap)
 			return nil
 		}
 		return out
+	}
+	if q.Header.Opcode == dnswire.OpcodeNotify && !q.Header.QR {
+		if sub := rs.push.Load(); sub != nil {
+			return sub.HandleNotifyWire(wire, from)
+		}
 	}
 	name, qtype := q.Q().Name, q.Q().Type
 	tap.ClientIn(from, name, qtype)

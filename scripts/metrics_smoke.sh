@@ -33,7 +33,9 @@ sleep 0.5
     -metrics 127.0.0.1:8053 &
 sleep 0.5
 
-"$workdir/dnsq" -server 127.0.0.1 -port 5356 www.example.test A | grep -q 192.0.2.80
+# grep without -q: reading to EOF avoids a SIGPIPE race with -o pipefail
+# when grep would exit at the first match while dnsq is still writing.
+"$workdir/dnsq" -server 127.0.0.1 -port 5356 www.example.test A | grep 192.0.2.80 >/dev/null
 
 scrape=$(curl -sf http://127.0.0.1:8053/metrics)
 [ -n "$scrape" ] || { echo "metrics smoke: empty /metrics response" >&2; exit 1; }
@@ -45,7 +47,7 @@ echo "$scrape" | grep -q '"resolver.latency_ms"' ||
 curl -sf http://127.0.0.1:8053/trace | grep -q 'resolve www.example.test. A' ||
     { echo "metrics smoke: trace not retained" >&2; exit 1; }
 
-"$workdir/dnsq" -trace -server 127.0.0.1 -port 5355 www.example.test A | grep -q 'cache lookup' ||
+"$workdir/dnsq" -trace -server 127.0.0.1 -port 5355 www.example.test A | grep 'cache lookup' >/dev/null ||
     { echo "metrics smoke: dnsq -trace printed no span tree" >&2; exit 1; }
 
 echo "metrics smoke: OK"
