@@ -1,16 +1,19 @@
 package dnsttl
 
 import (
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"fmt"
 	"net/netip"
 	"strings"
+	"sync"
 	"time"
 
 	"dnsttl/internal/authoritative"
 	"dnsttl/internal/cache"
 	"dnsttl/internal/farm"
+	"dnsttl/internal/middleware"
 	"dnsttl/internal/obs"
 	"dnsttl/internal/qlog"
 	"dnsttl/internal/resolver"
@@ -123,6 +126,12 @@ type ClientConfig struct {
 	// Logger's Tap method). Nil disables capture at the cost of one pointer
 	// check per exchange.
 	QueryLog *QueryLogTap
+	// Pipeline is a middleware graph spec (see docs/middleware.md) run in
+	// front of the resolver datapath: blocklists, per-client rate limits,
+	// response memoization, TTL clamps. Empty keeps the default pipeline —
+	// a bare pass-through that resolves byte-for-byte like a pipelineless
+	// client.
+	Pipeline string
 }
 
 // Registry is the telemetry metrics registry shared by the resolver, farm,
@@ -246,10 +255,18 @@ func ParseEvictionPolicy(s string) (EvictionPolicy, error) { return cache.ParseE
 
 // Client is an iterative caching DNS resolver — the library's front door
 // for resolution. With ClientConfig.Frontends > 1 it is a whole resolver
-// farm behind one Lookup.
+// farm behind one Lookup. Every resolution runs through a middleware
+// pipeline (internal/middleware); the zero-config default pipeline is a
+// bare wrapper over the legacy datapath.
 type Client struct {
 	r *resolver.Resolver // single-resolver mode; nil when farmed
 	f *farm.Farm         // farm mode; nil for a single resolver
+
+	// Single-resolver pipeline state; farm mode keeps per-frontend
+	// pipelines inside the farm.
+	env middleware.Env
+	pmu sync.RWMutex
+	p   *middleware.Pipeline
 }
 
 // NewClient builds a Client.
@@ -282,6 +299,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			Tracer:        cfg.Tracer,
 			QueryLog:      cfg.QueryLog,
 		}, netip.MustParseAddr("127.0.0.1"), cfg.Net, cfg.Clock, cfg.Roots)
+		if err := f.SetPipeline(cfg.Pipeline); err != nil {
+			return nil, err
+		}
 		return &Client{f: f}, nil
 	}
 	r := resolver.New(netip.MustParseAddr("127.0.0.1"), cfg.Policy, cfg.Net, cfg.Clock, cfg.Roots, cfg.Seed)
@@ -301,16 +321,83 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	r.Tracer = cfg.Tracer
 	r.QLog = cfg.QueryLog
-	return &Client{r: r}, nil
+	c := &Client{r: r}
+	c.env = middleware.Env{Lookup: r.Resolve, Clock: cfg.Clock, Registry: cfg.Registry}
+	p, err := middleware.Build(cfg.Pipeline, c.env)
+	if err != nil {
+		return nil, err
+	}
+	c.p = p
+	return c, nil
 }
 
-// Lookup resolves (name, qtype), from cache when possible.
+// Lookup resolves (name, qtype), from cache when possible. In-process
+// lookups carry no client address, so client-keyed pipeline stages (the
+// rate limiter) pass them untouched.
 func (c *Client) Lookup(name Name, qtype Type) (*Result, error) {
-	if c.f != nil {
-		return c.f.Resolve(name, qtype)
+	resp, err := c.resolveQuery(context.Background(), &middleware.Query{Name: name, Type: qtype})
+	if err != nil || resp == nil {
+		return nil, err
 	}
-	return c.r.Resolve(name, qtype)
+	return resp.Result, nil
 }
+
+// LookupFrom is Lookup on behalf of a network client: the pipeline sees
+// the client address, so blocklists, per-client rate limits, and qlog
+// attribution apply as they would for a wire query.
+func (c *Client) LookupFrom(name Name, qtype Type, client netip.Addr) (*Result, error) {
+	resp, err := c.resolveQuery(context.Background(), &middleware.Query{Name: name, Type: qtype, Client: client})
+	if err != nil || resp == nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// resolveQuery runs one query through the active pipeline, returning the
+// middleware response (verdict included) for callers — the recursive
+// server — that label outcomes or honor Drop.
+func (c *Client) resolveQuery(ctx context.Context, q *middleware.Query) (*middleware.Response, error) {
+	if c.f != nil {
+		return c.f.ResolveQuery(ctx, q)
+	}
+	c.pmu.RLock()
+	p := c.p
+	c.pmu.RUnlock()
+	return p.Resolve(ctx, q)
+}
+
+// SetPipeline compiles spec and swaps the client onto it atomically; an
+// invalid spec is rejected with the active pipeline untouched (the
+// resolverd SIGHUP-reload contract). The empty spec restores the default
+// pass-through pipeline.
+func (c *Client) SetPipeline(spec string) error {
+	if c.f != nil {
+		return c.f.SetPipeline(spec)
+	}
+	p, err := middleware.Build(spec, c.env)
+	if err != nil {
+		return err
+	}
+	c.pmu.Lock()
+	c.p = p
+	c.pmu.Unlock()
+	return nil
+}
+
+// PipelineStages lists the active pipeline's stage names in spec order —
+// ["resolver"] for the default pipeline.
+func (c *Client) PipelineStages() []string {
+	if c.f != nil {
+		return c.f.PipelineStages()
+	}
+	c.pmu.RLock()
+	defer c.pmu.RUnlock()
+	return c.p.Stages()
+}
+
+// CheckPipeline validates a middleware graph spec without building a
+// client — daemons use it to vet a -pipeline file before (re)loading.
+func CheckPipeline(spec string) error { return middleware.Check(spec) }
 
 // CacheStats reports the client's cache counters — aggregated over the
 // whole fleet when the client is a farm.
@@ -409,6 +496,26 @@ func SelfSignedTLS(hosts ...string) (tls.Certificate, *x509.CertPool, error) {
 
 // QueryCount reports queries handled.
 func (s *Server) QueryCount() uint64 { return s.s.QueryCount() }
+
+// RRLConfig configures authoritative response rate limiting; see
+// internal/authoritative's rrl.go for band semantics.
+type RRLConfig = authoritative.RRLConfig
+
+// DefaultRRLConfig is the BIND-flavored RRL starting point (5 rps, burst
+// 15, slip 2, /24 and /56 client aggregation).
+func DefaultRRLConfig() RRLConfig { return authoritative.DefaultRRLConfig() }
+
+// ParseRRLConfig parses "rps=5,burst=15,slip=2,prefix4=24,prefix6=56"
+// flag syntax ("default" or "" for the defaults).
+func ParseRRLConfig(s string) (RRLConfig, error) { return authoritative.ParseRRLConfig(s) }
+
+// EnableRRL turns on response rate limiting for UDP responses: limited
+// responses are dropped, except every slip-th which goes out truncated so
+// honest clients can fall back to TCP (TCP is never limited).
+func (s *Server) EnableRRL(cfg RRLConfig) { s.s.EnableRRL(cfg) }
+
+// DisableRRL removes the response rate limiter.
+func (s *Server) DisableRRL() { s.s.DisableRRL() }
 
 // Instrument mirrors the server's query counters into reg (auth.queries,
 // auth.referrals, auth.nxdomain, auth.refused); nil detaches.

@@ -102,6 +102,7 @@ func main() {
 		qlogMaxBytes = flag.Int64("qlog-max-bytes", 0, "rotate the query log past this size (0 = 64 MiB)")
 		qlogFiles    = flag.Int("qlog-files", 0, "rotated query-log files kept, active included (0 = 4)")
 		pushFeeds    = flag.Bool("push", false, "publish every zone as a change feed: accept subscriptions, NOTIFY subscribers on each change, serve IXFR pulls")
+		rrl          = flag.String("rrl", "", "response rate limiting for UDP: \"default\" or \"rps=5,burst=15,slip=2,prefix4=24,prefix6=56\" (empty = off)")
 		zones        zoneFlags
 	)
 	flag.Var(&zones, "zone", "origin=path to a master file (repeatable)")
@@ -142,6 +143,16 @@ func main() {
 	if *metrics != "" {
 		reg = dnsttl.NewRegistry(nil)
 		srv.Instrument(reg)
+	}
+	if *rrl != "" {
+		cfg, err := dnsttl.ParseRRLConfig(*rrl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "authserver:", err)
+			os.Exit(2)
+		}
+		srv.EnableRRL(cfg)
+		fmt.Printf("rrl: %g rps, burst %g, slip %d, /%d v4 /%d v6 aggregation\n",
+			cfg.RPS, cfg.Burst, cfg.Slip, cfg.Prefix4, cfg.Prefix6)
 	}
 	var pa *dnsttl.PushAuthority
 	if *pushFeeds {

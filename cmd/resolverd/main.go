@@ -87,6 +87,7 @@ func main() {
 		metricsEvery  = flag.Duration("metrics-window-every", 10*time.Second, "snapshot period backing /metrics?window= rate queries")
 		pushPoll      = flag.Duration("push-poll", 0, "SOA polling fallback period for push subscriptions (0 = 5m)")
 		pushPrefetch  = flag.Bool("push-prefetch", false, "re-resolve names purged by push notifies immediately (purge+prefetch)")
+		pipeline      = flag.String("pipeline", "", "middleware graph spec file (see docs/middleware.md); SIGHUP re-reads and swaps it, keeping the old graph on error (empty = default pass-through pipeline)")
 		pushSubs      pushFlags
 	)
 	flag.Var(&pushSubs, "push", "zone=host:port push subscription (repeatable): subscribe to the zone's NOTIFY/IXFR change feed and purge on notify")
@@ -218,6 +219,18 @@ func main() {
 		cfg.LocalRoot = z
 		fmt.Printf("mirrored root zone: %d records\n", z.RecordCount())
 	}
+	if *pipeline != "" {
+		spec, err := os.ReadFile(*pipeline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "resolverd:", err)
+			os.Exit(2)
+		}
+		if err := dnsttl.CheckPipeline(string(spec)); err != nil {
+			fmt.Fprintln(os.Stderr, "resolverd:", err)
+			os.Exit(2)
+		}
+		cfg.Pipeline = string(spec)
+	}
 	// The upstream tap is labeled with the upstream transport; the
 	// client-facing taps are created per listener by RecursiveServer.
 	cfg.QueryLog = qlogger.Tap(kind.String())
@@ -225,6 +238,30 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "resolverd:", err)
 		os.Exit(1)
+	}
+	if *pipeline != "" {
+		fmt.Printf("pipeline: %s [%s]\n", *pipeline, strings.Join(client.PipelineStages(), " -> "))
+	}
+	// SIGHUP re-reads the -pipeline spec and swaps the graph atomically;
+	// a spec that fails to parse or build leaves the running graph
+	// untouched, so a bad rollout never takes the datapath down.
+	if *pipeline != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				spec, err := os.ReadFile(*pipeline)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "resolverd: pipeline reload:", err)
+					continue
+				}
+				if err := client.SetPipeline(string(spec)); err != nil {
+					fmt.Fprintln(os.Stderr, "resolverd: pipeline reload rejected (keeping old graph):", err)
+					continue
+				}
+				fmt.Printf("pipeline reloaded: %s [%s]\n", *pipeline, strings.Join(client.PipelineStages(), " -> "))
+			}
+		}()
 	}
 	rs := &dnsttl.RecursiveServer{Client: client, QueryLog: qlogger}
 	addr, err := rs.ListenUDP(*listen)

@@ -54,7 +54,7 @@ var ExperimentIDs = []string{
 	"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 	"dnssec", "hitrate", "outage-sweep", "propagation", "parent-child",
 	"farm-fragmentation", "chaos", "cache-pressure", "planet-scale",
-	"push-propagation",
+	"push-propagation", "water-torture",
 }
 
 // RunExperiment regenerates one paper artifact. IDs are listed in
@@ -130,6 +130,8 @@ func RunExperiment(id string, sc ExperimentScale) (*Report, error) {
 		return experiments.PlanetScale(), nil
 	case "push-propagation":
 		return experiments.PushExperiment(max(sc.Probes/80, 2), sc.Workers, sc.Seed), nil
+	case "water-torture":
+		return experiments.WaterTorture(sc.Probes*4, sc.Workers, sc.Seed), nil
 	}
 	return nil, fmt.Errorf("dnsttl: unknown experiment %q (known: %v)", id, ExperimentIDs)
 }
@@ -161,7 +163,7 @@ func RunAllExperiments(sc ExperimentScale) ([]*Report, error) {
 		"ablation-glue", "ablation-stale", "ablation-prefetch", "ablation-cap",
 		"dnssec", "hitrate", "outage-sweep", "propagation",
 		"farm-fragmentation", "chaos", "cache-pressure", "planet-scale",
-		"push-propagation",
+		"push-propagation", "water-torture",
 	} {
 		r, err := RunExperiment(id, sc)
 		if err != nil {

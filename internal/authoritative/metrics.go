@@ -17,14 +17,24 @@ type Metrics struct {
 	NXDomain *obs.Counter
 	// Refused counts queries outside every served zone.
 	Refused *obs.Counter
+	// RRLPassed counts UDP responses the rate limiter let through.
+	RRLPassed *obs.Counter
+	// RRLDropped counts UDP responses RRL suppressed entirely.
+	RRLDropped *obs.Counter
+	// RRLSlipped counts limited responses sent truncated (TC=1) instead
+	// of dropped, inviting the client to retry over TCP.
+	RRLSlipped *obs.Counter
 }
 
 // Metric names under which Instrument registers the server's telemetry.
 const (
-	MetricQueries   = "auth.queries"
-	MetricReferrals = "auth.referrals"
-	MetricNXDomain  = "auth.nxdomain"
-	MetricRefused   = "auth.refused"
+	MetricQueries    = "auth.queries"
+	MetricReferrals  = "auth.referrals"
+	MetricNXDomain   = "auth.nxdomain"
+	MetricRefused    = "auth.refused"
+	MetricRRLPassed  = "auth.rrl_passed"
+	MetricRRLDropped = "auth.rrl_dropped"
+	MetricRRLSlipped = "auth.rrl_slipped"
 )
 
 // Instrument attaches registry-backed metrics to the server. A nil registry
@@ -35,10 +45,13 @@ func (s *Server) Instrument(reg *obs.Registry) {
 		return
 	}
 	s.Obs = &Metrics{
-		Queries:   reg.Counter(MetricQueries),
-		Referrals: reg.Counter(MetricReferrals),
-		NXDomain:  reg.Counter(MetricNXDomain),
-		Refused:   reg.Counter(MetricRefused),
+		Queries:    reg.Counter(MetricQueries),
+		Referrals:  reg.Counter(MetricReferrals),
+		NXDomain:   reg.Counter(MetricNXDomain),
+		Refused:    reg.Counter(MetricRefused),
+		RRLPassed:  reg.Counter(MetricRRLPassed),
+		RRLDropped: reg.Counter(MetricRRLDropped),
+		RRLSlipped: reg.Counter(MetricRRLSlipped),
 	}
 }
 

@@ -1,0 +1,219 @@
+package authoritative
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/simnet"
+)
+
+// Response Rate Limiting (RRL), the BIND/NSD defense against authoritative
+// servers being used as amplifiers and against random-subdomain floods.
+// Responses — not queries — are rate limited, per ⟨response band, masked
+// client prefix⟩ bucket:
+//
+//   - positive answers band on the qname, so a flood for one popular name
+//     is limited without touching the rest of the zone;
+//   - NXDomain and NoData responses band on the *zone origin*, because a
+//     water-torture flood never repeats a qname — per-qname buckets would
+//     each see rate 1 and pass everything, while the per-zone error band
+//     sees the full attack rate;
+//   - referrals band on the zone being delegated to.
+//
+// A limited response is dropped — and every slip-th limited response is
+// instead sent truncated (TC=1, answer sections stripped), so an honest
+// client whose source address is being spoofed into a bucket can still
+// retry over TCP and get a full answer: TCP responses are never limited,
+// because the three-way handshake already proves the source address.
+type RRLConfig struct {
+	// RPS is the sustained responses/second each bucket may emit.
+	RPS float64
+	// Burst is the bucket depth (responses that may go out back-to-back).
+	Burst float64
+	// Slip sends every Slip-th limited response as a truncated reply
+	// instead of dropping it. 0 drops everything; 1 slips everything
+	// (no drops, pure TC); 2 is the BIND default.
+	Slip int
+	// Prefix4/Prefix6 mask client addresses into buckets (defaults /24
+	// and /56 — RRL aggregates by network, not host, since an attacker
+	// spoofs addresses within its network freely).
+	Prefix4, Prefix6 int
+}
+
+// DefaultRRLConfig mirrors BIND's conventional starting point.
+func DefaultRRLConfig() RRLConfig {
+	return RRLConfig{RPS: 5, Burst: 15, Slip: 2, Prefix4: 24, Prefix6: 56}
+}
+
+// ParseRRLConfig parses the authserver -rrl flag grammar:
+// "rps=5,burst=15,slip=2,prefix4=24,prefix6=56" — any subset of keys,
+// missing keys keep the defaults. The literal "default" (or "") is the
+// default config.
+func ParseRRLConfig(s string) (RRLConfig, error) {
+	cfg := DefaultRRLConfig()
+	if s == "" || s == "default" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return cfg, fmt.Errorf("rrl: want key=value, got %q", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("rrl: %s=%q is not a number", key, val)
+		}
+		switch key {
+		case "rps":
+			cfg.RPS = f
+		case "burst":
+			cfg.Burst = f
+		case "slip":
+			cfg.Slip = int(f)
+		case "prefix4":
+			cfg.Prefix4 = int(f)
+		case "prefix6":
+			cfg.Prefix6 = int(f)
+		default:
+			return cfg, fmt.Errorf("rrl: unknown key %q (want rps, burst, slip, prefix4, prefix6)", key)
+		}
+	}
+	if cfg.RPS <= 0 || cfg.Burst < 1 {
+		return cfg, fmt.Errorf("rrl: need rps > 0 and burst >= 1")
+	}
+	if cfg.Prefix4 < 0 || cfg.Prefix4 > 32 || cfg.Prefix6 < 0 || cfg.Prefix6 > 128 {
+		return cfg, fmt.Errorf("rrl: prefix4/prefix6 out of range")
+	}
+	return cfg, nil
+}
+
+// rrlVerdict is the limiter's decision for one UDP response.
+type rrlVerdict uint8
+
+const (
+	rrlSend rrlVerdict = iota
+	rrlDrop
+	rrlSlip
+)
+
+type rrlKey struct {
+	band   dnswire.Name
+	client netip.Addr
+}
+
+type rrlBucket struct {
+	tokens  float64
+	last    time.Time
+	limited int // responses limited since the bucket last passed one, drives slip cadence
+}
+
+// maxRRLBuckets bounds limiter state the same way the middleware
+// per-client limiter does: reset wholesale at the cap rather than LRU
+// bookkeeping per response.
+const maxRRLBuckets = 1 << 16
+
+// rrlState is the limiter attached to a Server by EnableRRL.
+type rrlState struct {
+	cfg   RRLConfig
+	clock simnet.Clock
+
+	mu      sync.Mutex
+	buckets map[rrlKey]*rrlBucket
+}
+
+// EnableRRL turns on response rate limiting for UDP responses. Passing a
+// zero-value config panics; use DefaultRRLConfig as the baseline.
+func (s *Server) EnableRRL(cfg RRLConfig) {
+	if cfg.RPS <= 0 || cfg.Burst < 1 {
+		panic("authoritative: EnableRRL with rps <= 0 or burst < 1")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rrl = &rrlState{cfg: cfg, clock: s.Clock, buckets: map[rrlKey]*rrlBucket{}}
+}
+
+// DisableRRL removes the limiter.
+func (s *Server) DisableRRL() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rrl = nil
+}
+
+// limiter returns the current rrl state (nil when disabled).
+func (s *Server) limiter() *rrlState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rrl
+}
+
+// band classifies a response into its rate-limit band.
+func (s *Server) band(q dnswire.Question, resp *dnswire.Message) dnswire.Name {
+	if resp.Header.RCode == dnswire.RCodeNXDomain || (resp.Header.RCode == dnswire.RCodeNoError && len(resp.Answer) == 0) {
+		// Error band: one bucket per zone, immune to qname randomization.
+		if z := s.bestZone(q.Name); z != nil {
+			return z.Origin
+		}
+	}
+	return q.Name
+}
+
+// check books one would-be UDP response against its bucket.
+func (r *rrlState) check(key rrlKey) rrlVerdict {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bk := r.buckets[key]
+	if bk == nil {
+		if len(r.buckets) >= maxRRLBuckets {
+			r.buckets = map[rrlKey]*rrlBucket{}
+		}
+		bk = &rrlBucket{tokens: r.cfg.Burst, last: now}
+		r.buckets[key] = bk
+	} else {
+		if dt := now.Sub(bk.last); dt > 0 {
+			bk.tokens += dt.Seconds() * r.cfg.RPS
+			if bk.tokens > r.cfg.Burst {
+				bk.tokens = r.cfg.Burst
+			}
+		}
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		bk.limited = 0
+		return rrlSend
+	}
+	bk.limited++
+	if r.cfg.Slip > 0 && bk.limited%r.cfg.Slip == 0 {
+		return rrlSlip
+	}
+	return rrlDrop
+}
+
+// maskClient aggregates a client address into its RRL network prefix.
+func (r *rrlState) maskClient(client netip.Addr) netip.Addr {
+	bits := r.cfg.Prefix6
+	if client.Is4() || client.Is4In6() {
+		bits = r.cfg.Prefix4
+	}
+	p, err := client.Unmap().Prefix(bits)
+	if err != nil {
+		return client
+	}
+	return p.Addr()
+}
+
+// slipReply builds the truncated stand-in for a limited response: header
+// and question only, TC=1, same RCode — enough for an honest client to
+// fall back to TCP.
+func slipReply(resp *dnswire.Message) *dnswire.Message {
+	out := &dnswire.Message{Header: resp.Header}
+	out.Header.TC = true
+	out.Question = append([]dnswire.Question(nil), resp.Question...)
+	return out
+}

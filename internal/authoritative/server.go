@@ -57,6 +57,8 @@ type Server struct {
 	zones    map[dnswire.Name]*zone.Zone
 	log      []QueryLogEntry
 	rotation uint64
+	// rrl, when non-nil, rate-limits UDP responses (see rrl.go).
+	rrl *rrlState
 	// logging controls whether entries are retained.
 	logging bool
 	queries uint64
@@ -184,6 +186,28 @@ func (s *Server) serveWire(wire []byte, from netip.Addr, limit int) []byte {
 	}
 	resp := s.Handle(q, from)
 	if limit == 0 {
+		// RRL guards only the connectionless transport: a TCP client has
+		// already proved its source address, so limiting it would add
+		// collateral damage without reducing amplification.
+		if r := s.limiter(); r != nil {
+			key := rrlKey{band: s.band(q.Q(), resp), client: r.maskClient(from)}
+			switch r.check(key) {
+			case rrlDrop:
+				if m := s.Obs; m != nil {
+					m.RRLDropped.Inc()
+				}
+				return nil
+			case rrlSlip:
+				if m := s.Obs; m != nil {
+					m.RRLSlipped.Inc()
+				}
+				resp = slipReply(resp)
+			default:
+				if m := s.Obs; m != nil {
+					m.RRLPassed.Inc()
+				}
+			}
+		}
 		limit = dnswire.MaxUDPSize
 		for _, rr := range q.Additional {
 			if opt, ok := rr.Data.(dnswire.OPT); ok {

@@ -20,6 +20,14 @@ type UDPServer struct {
 	// Handler serves queries when Server is nil — any simnet.Handler,
 	// e.g. a recursive front-end.
 	Handler simnet.Handler
+	// MaxInflight bounds concurrently-served queries (default 512).
+	// Queries are dispatched to goroutines rather than served inline in
+	// the read loop: a recursive front-end's handler can block for a full
+	// upstream timeout (an RRL-dropped response, a dead authoritative),
+	// and serving serially would let one slow resolution head-of-line
+	// block every client behind it. When all slots are busy the loop
+	// blocks, so overload backpressure lands in the socket buffer.
+	MaxInflight int
 
 	mu     sync.Mutex
 	conn   *net.UDPConn
@@ -55,6 +63,11 @@ func (u *UDPServer) Listen(addr string) (netip.AddrPort, error) {
 
 func (u *UDPServer) serve(conn *net.UDPConn) {
 	defer u.wg.Done()
+	inflight := u.MaxInflight
+	if inflight <= 0 {
+		inflight = 512
+	}
+	sem := make(chan struct{}, inflight)
 	buf := make([]byte, 65535)
 	for {
 		n, raddr, err := conn.ReadFromUDP(buf)
@@ -70,10 +83,15 @@ func (u *UDPServer) serve(conn *net.UDPConn) {
 		query := make([]byte, n)
 		copy(query, buf[:n])
 		from := raddr.AddrPort().Addr()
-		resp := u.handler().ServeDNS(query, from)
-		if resp != nil {
-			_, _ = conn.WriteToUDP(resp, raddr)
-		}
+		sem <- struct{}{}
+		u.wg.Add(1)
+		go func() {
+			defer func() { <-sem; u.wg.Done() }()
+			resp := u.handler().ServeDNS(query, from)
+			if resp != nil {
+				_, _ = conn.WriteToUDP(resp, raddr)
+			}
+		}()
 	}
 }
 

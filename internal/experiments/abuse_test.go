@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	abuseQueries = 800
+	abuseSeed    = 42
+)
+
+func abuseGoldenPath() string {
+	return filepath.Join("testdata", "abuse_golden.json")
+}
+
+// TestAbuseGolden replays the water-torture grid and compares every cell —
+// attack outcomes, authoritative rx/full/slip/drop, honest hit rates, RRL
+// and edge counters — byte for byte against the golden. Any drift in the
+// middleware pipeline, the farm's per-frontend pipelines, or the RRL
+// limiter's bucket arithmetic fails here first.
+func TestAbuseGolden(t *testing.T) {
+	got := WaterTortureRun(abuseQueries, 0, abuseSeed).JSON()
+	if *update {
+		if err := os.WriteFile(abuseGoldenPath(), got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", abuseGoldenPath(), len(got))
+		return
+	}
+	want, err := os.ReadFile(abuseGoldenPath())
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("water-torture replay drifted from golden %s.\nRegenerate with -update if the change is intentional.\ngot:\n%s", abuseGoldenPath(), got)
+	}
+}
+
+// TestAbuseOutcomes pins the story the golden bytes must tell, so a
+// legitimate -update can't silently regress the protections:
+// the flood bypasses the cache when unprotected, RRL cuts the reflected
+// amplification ≥5×, edge limiting starves the authoritative of attack
+// queries, and no defense costs the honest stream a full hit-point.
+func TestAbuseOutcomes(t *testing.T) {
+	rep := WaterTortureRun(abuseQueries, 0, abuseSeed)
+	cells := map[string]AbuseCell{}
+	for _, c := range rep.Cells {
+		cells[c.Protection+"/"+c.Topology+"/f"+string(rune('0'+c.Frontends))] = c
+	}
+	shapes := []string{"private/f1", "private/f4", "shared/f4"}
+	get := func(p, shape string) AbuseCell {
+		c, ok := cells[p+"/"+shape]
+		if !ok {
+			t.Fatalf("missing cell %s/%s", p, shape)
+		}
+		return c
+	}
+
+	for _, sh := range shapes {
+		open := get("open", sh)
+
+		// Unprotected, every unique qname defeats the cache: ≥90% of the
+		// flood reaches the authoritative and is answered in full.
+		if open.BypassMilli < 900 {
+			t.Errorf("%s open: bypass %d‰, want ≥900‰ (unique qnames must defeat the cache)", sh, open.BypassMilli)
+		}
+		if open.AuthAttackFull < open.AttackQueries*9/10 {
+			t.Errorf("%s open: only %d/%d full responses reflected", sh, open.AuthAttackFull, open.AttackQueries)
+		}
+
+		// RRL: ≥5× fewer full (amplifiable) responses, with slips present
+		// so spoofed-into-a-bucket honest clients keep a TCP escape hatch.
+		for _, p := range []string{"rrl", "full"} {
+			prot := get(p, sh)
+			if prot.AuthAttackFull*5 > open.AuthAttackFull {
+				t.Errorf("%s %s: amplification cut %d→%d is under 5×", sh, p, open.AuthAttackFull, prot.AuthAttackFull)
+			}
+		}
+		rrl := get("rrl", sh)
+		if rrl.AuthAttackSlip == 0 || rrl.RRLSlipped == 0 {
+			t.Errorf("%s rrl: no slipped (TC=1) responses observed", sh)
+		}
+		if rrl.AuthAttackDrop == 0 || rrl.RRLDropped == 0 {
+			t.Errorf("%s rrl: no dropped responses observed", sh)
+		}
+		// RRL does not reduce received queries — it limits responses.
+		if rrl.BypassMilli < 900 {
+			t.Errorf("%s rrl: bypass %d‰; RRL should not mask the cache-bypass rate", sh, rrl.BypassMilli)
+		}
+
+		// Edge limiting cuts what even reaches the authoritative. Each
+		// frontend runs its own bucket, so the cut divides by the farm
+		// size: ≥5× behind one frontend, ≥3× behind four.
+		wantCut := 5
+		if strings.Contains(sh, "f4") {
+			wantCut = 3
+		}
+		for _, p := range []string{"edge", "full"} {
+			prot := get(p, sh)
+			if prot.AuthAttackRx*wantCut > open.AuthAttackRx {
+				t.Errorf("%s %s: attack rx cut %d→%d is under %d×", sh, p, open.AuthAttackRx, prot.AuthAttackRx, wantCut)
+			}
+			if prot.AttackLimited == 0 || prot.EdgeLimited == 0 {
+				t.Errorf("%s %s: edge limiter never fired (limited=%d, counter=%d)", sh, p, prot.AttackLimited, prot.EdgeLimited)
+			}
+		}
+
+		// Collateral: every honest query answered, and no protection moves
+		// the honest hit rate by a full hit-point (10 milli).
+		for _, p := range []string{"open", "rrl", "edge", "full"} {
+			c := get(p, sh)
+			if c.HonestAnswered != c.HonestQueries {
+				t.Errorf("%s %s: honest answered %d/%d", sh, p, c.HonestAnswered, c.HonestQueries)
+			}
+			d := c.HonestHitMilli - open.HonestHitMilli
+			if d < 0 {
+				d = -d
+			}
+			if d >= 10 {
+				t.Errorf("%s %s: honest hit rate moved %d milli (open %d‰ vs %d‰), want <10", sh, p, d, open.HonestHitMilli, c.HonestHitMilli)
+			}
+		}
+	}
+}
+
+// TestAbuseDeterministic proves the tier — and through it the per-frontend
+// pipeline state, the RRL buckets, and the mixed workload interleave — is
+// byte-identical across worker counts and repeated runs.
+func TestAbuseDeterministic(t *testing.T) {
+	serial := WaterTortureRun(abuseQueries, 1, abuseSeed).JSON()
+	for run := 0; run < 2; run++ {
+		for _, workers := range []int{1, 4, 8} {
+			got := WaterTortureRun(abuseQueries, workers, abuseSeed).JSON()
+			if !bytes.Equal(got, serial) {
+				t.Fatalf("run %d with %d workers diverged from serial output", run, workers)
+			}
+		}
+	}
+}

@@ -19,11 +19,11 @@ import (
 // zone holding the workload's names at a fixed TTL, and counters on both
 // servers so authoritative query volume can be attributed.
 type farmWorld struct {
-	clock           *simnet.VirtualClock
-	net             *simnet.Network
-	rootAddr        netip.Addr
-	rootSrv, orgSrv *authoritative.Server
-	gen             *workload.Generator
+	clock             *simnet.VirtualClock
+	net               *simnet.Network
+	rootAddr, orgAddr netip.Addr
+	rootSrv, orgSrv   *authoritative.Server
+	gen               *workload.Generator
 	// hotQueries counts authoritative fetches of the most popular name —
 	// the record whose per-farm fetch rate the paper's fragmentation
 	// argument predicts scales linearly with the frontend count.
@@ -35,8 +35,9 @@ func newFarmWorld(names int, ttl uint32, qps float64, seed int64) *farmWorld {
 		clock:    simnet.NewVirtualClock(),
 		net:      simnet.NewNetwork(seed),
 		rootAddr: netip.MustParseAddr("192.88.40.1"),
+		orgAddr:  netip.MustParseAddr("192.88.40.2"),
 	}
-	orgAddr := netip.MustParseAddr("192.88.40.2")
+	orgAddr := w.orgAddr
 	root := zone.New(dnswire.Root)
 	root.MustAdd(
 		dnswire.NewSOA(".", 86400, "a.root-servers.net.", "x.example.", 1, 1, 1, 1, 86400),

@@ -16,11 +16,14 @@
 package farm
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
+	"sync"
 
 	"dnsttl/internal/cache"
 	"dnsttl/internal/dnswire"
+	"dnsttl/internal/middleware"
 	"dnsttl/internal/obs"
 	"dnsttl/internal/qlog"
 	"dnsttl/internal/resolver"
@@ -133,6 +136,15 @@ type Farm struct {
 	flight    *flightGroup
 	store     cache.Store // nil for Private topology
 	telemetry *telemetry
+	clock     simnet.Clock
+
+	// Every query flows through a middleware pipeline, one instance per
+	// frontend (each frontend is its own process in the deployment the
+	// farm models, so stage state — rate-limit buckets, memo caches — is
+	// per-frontend). The default pipeline is a single terminal stage
+	// wrapping resolveLeg, adding no behavior to the legacy datapath.
+	pmu       sync.RWMutex
+	pipelines []*middleware.Pipeline
 }
 
 // New builds a farm. Frontend i sources its queries from addr+i, so taps
@@ -149,6 +161,7 @@ func New(cfg Config, addr netip.Addr, net simnet.Exchanger, clock simnet.Clock, 
 		balancer:  newBalancer(cfg.Placement, n, cfg.Seed),
 		flight:    newFlightGroup(),
 		telemetry: newTelemetry(n, cfg.Registry),
+		clock:     clock,
 	}
 
 	// One storage config for every topology, derived the same way
@@ -185,8 +198,92 @@ func New(cfg Config, addr netip.Addr, net simnet.Exchanger, clock simnet.Clock, 
 		f.frontends[i] = r
 		addr = addr.Next()
 	}
+	f.pipelines = make([]*middleware.Pipeline, n)
+	for i := range f.pipelines {
+		f.pipelines[i] = middleware.Default(f.env(i))
+	}
 	cache.Instrument(cfg.Registry, "cache", f.CacheStats)
 	return f
+}
+
+// env is the middleware environment for frontend idx's pipeline: the
+// terminal stage resolves through the frontend's legacy datapath
+// (balancer already ran — resolveLeg is post-placement).
+func (f *Farm) env(idx int) middleware.Env {
+	return middleware.Env{
+		Lookup:   f.resolveLeg(idx),
+		Clock:    f.clock,
+		Registry: f.cfg.Registry,
+	}
+}
+
+// resolveLeg is frontend idx's raw resolution path — the pre-middleware
+// Resolve body: farm-wide singleflight when coalescing is on, then the
+// frontend's iterative resolver, then fleet accounting.
+func (f *Farm) resolveLeg(idx int) middleware.LookupFunc {
+	return func(name dnswire.Name, qtype dnswire.Type) (*resolver.Result, error) {
+		if !f.cfg.Coalesce {
+			res, err := f.frontends[idx].Resolve(name, qtype)
+			return f.account(idx, res, err)
+		}
+		res, err, joined := f.flight.do(flightKey{name: name, qtype: qtype},
+			func() { f.telemetry.coalesced(idx) },
+			func() (*resolver.Result, error) { return f.frontends[idx].Resolve(name, qtype) })
+		if joined {
+			if res == nil {
+				return nil, err
+			}
+			// Followers get their own Result value (the message itself is
+			// shared, read-only by convention) marked as coalesced: they
+			// cost zero upstream queries.
+			cp := *res
+			cp.CacheHit = false
+			cp.Coalesced = true
+			cp.Queries = 0
+			cp.Timeouts = 0
+			cp.Retries = 0
+			cp.Hedges = 0
+			return &cp, err
+		}
+		return f.account(idx, res, err)
+	}
+}
+
+// SetPipeline compiles spec into one pipeline instance per frontend and
+// swaps the fleet onto them atomically. An invalid spec changes nothing —
+// the SIGHUP-reload contract. The empty spec restores the default
+// pipeline.
+func (f *Farm) SetPipeline(spec string) error {
+	fresh := make([]*middleware.Pipeline, len(f.frontends))
+	for i := range fresh {
+		p, err := middleware.Build(spec, f.env(i))
+		if err != nil {
+			return err
+		}
+		fresh[i] = p
+	}
+	f.pmu.Lock()
+	f.pipelines = fresh
+	f.pmu.Unlock()
+	return nil
+}
+
+// PipelineStages lists the stage names of the active pipeline.
+func (f *Farm) PipelineStages() []string {
+	f.pmu.RLock()
+	defer f.pmu.RUnlock()
+	return f.pipelines[0].Stages()
+}
+
+// ResolveQuery answers a client query through the frontend the placement
+// policy picks, running that frontend's middleware pipeline — the
+// datapath behind every farm resolution.
+func (f *Farm) ResolveQuery(ctx context.Context, q *middleware.Query) (*middleware.Response, error) {
+	idx := f.balancer.pick(q.Name)
+	f.pmu.RLock()
+	p := f.pipelines[idx]
+	f.pmu.RUnlock()
+	return p.Resolve(ctx, q)
 }
 
 // Frontends returns the farm size.
@@ -196,33 +293,15 @@ func (f *Farm) Frontends() int { return len(f.frontends) }
 func (f *Farm) Frontend(i int) *resolver.Resolver { return f.frontends[i] }
 
 // Resolve answers (name, qtype) through the frontend the placement policy
-// picks, coalescing with any identical in-flight query when enabled.
+// picks, running its middleware pipeline (by default a bare wrapper over
+// the coalescing resolve path) — resolver.Lookuper for in-process use,
+// with no client address for client-keyed stages.
 func (f *Farm) Resolve(name dnswire.Name, qtype dnswire.Type) (*resolver.Result, error) {
-	idx := f.balancer.pick(name)
-	if !f.cfg.Coalesce {
-		res, err := f.frontends[idx].Resolve(name, qtype)
-		return f.account(idx, res, err)
+	resp, err := f.ResolveQuery(context.Background(), &middleware.Query{Name: name, Type: qtype})
+	if err != nil || resp == nil {
+		return nil, err
 	}
-	res, err, joined := f.flight.do(flightKey{name: name, qtype: qtype},
-		func() { f.telemetry.coalesced(idx) },
-		func() (*resolver.Result, error) { return f.frontends[idx].Resolve(name, qtype) })
-	if joined {
-		if res == nil {
-			return nil, err
-		}
-		// Followers get their own Result value (the message itself is
-		// shared, read-only by convention) marked as coalesced: they
-		// cost zero upstream queries.
-		cp := *res
-		cp.CacheHit = false
-		cp.Coalesced = true
-		cp.Queries = 0
-		cp.Timeouts = 0
-		cp.Retries = 0
-		cp.Hedges = 0
-		return &cp, err
-	}
-	return f.account(idx, res, err)
+	return resp.Result, nil
 }
 
 // account books one completed (non-coalesced) resolution to frontend idx.

@@ -1,0 +1,185 @@
+// Package middleware turns the resolver datapath into a graph of small
+// composable stages, the way routedns builds resolvers from pipeline
+// elements: a query enters at one stage and flows stage to stage until a
+// terminal stage answers it. Each stage does one thing — route by qname,
+// answer from a blocklist, rate-limit a client, coalesce duplicate
+// in-flight questions, memoize whole responses, rewrite TTLs, strip
+// response sections — and hands everything else to its Next stage.
+//
+// The graph is config-driven: Build compiles a TOML-shaped text spec (see
+// the graph.go grammar) into a Pipeline whose terminal "resolver" stage
+// calls whatever Lookup function the host provides — a single iterative
+// resolver, a whole farm frontend, or a forwarder. The zero-config
+// Default pipeline is exactly one terminal stage, so a Client built
+// without a spec resolves byte-for-byte as the pre-middleware facade did
+// (pinned by the chaos-scenario equivalence tests).
+//
+// Every stage reports under "mw.<stage-name>.*" in the shared obs
+// registry, and stages annotate the resolution's span tree so /trace and
+// the query log show which stage answered.
+package middleware
+
+import (
+	"context"
+	"net/netip"
+
+	"dnsttl/internal/dnswire"
+	"dnsttl/internal/obs"
+	"dnsttl/internal/resolver"
+	"dnsttl/internal/simnet"
+)
+
+// Query is one client question entering the pipeline. Client is the
+// requesting address as seen by the listener; stages that key on it (the
+// per-client rate limiter) skip queries whose Client is the zero Addr —
+// in-process library lookups with no network client.
+type Query struct {
+	Name   dnswire.Name
+	Type   dnswire.Type
+	Client netip.Addr
+}
+
+// Verdict classifies how the pipeline terminated a query, for qlog
+// outcome labeling and daemon accounting.
+type Verdict uint8
+
+const (
+	// VerdictResolved: the query traversed the whole chain and was
+	// answered by the terminal resolver stage (from cache or upstream).
+	VerdictResolved Verdict = iota
+	// VerdictBlocked: a blocklist or static-answer stage answered without
+	// consulting the resolver.
+	VerdictBlocked
+	// VerdictLimited: the per-client rate limiter refused (or dropped)
+	// the query.
+	VerdictLimited
+	// VerdictCached: a middleware response cache answered from a
+	// memoized message.
+	VerdictCached
+)
+
+// String returns the verdict's qlog-friendly spelling.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictBlocked:
+		return "blocked"
+	case VerdictLimited:
+		return "limited"
+	case VerdictCached:
+		return "cached"
+	}
+	return "resolved"
+}
+
+// Response is a pipeline answer: the resolver Result (message plus trace)
+// and the middleware bookkeeping around it.
+type Response struct {
+	*resolver.Result
+	// Verdict says how the pipeline produced this response.
+	Verdict Verdict
+	// Stage names the stage that terminated the query when Verdict is not
+	// VerdictResolved (e.g. "shield" for a rate limiter instance).
+	Stage string
+	// Drop asks the caller to send nothing at all — the rate limiter's
+	// "drop" action. Result still carries a REFUSED message for callers
+	// (tests, in-process lookups) that must return something.
+	Drop bool
+}
+
+// Stage is one element of the graph. Stages hold their own Next reference
+// (wired by the graph builder), so Resolve needs no chain argument: a
+// stage either answers q itself or delegates to its Next.
+//
+// Implementations must be safe for concurrent use: one Stage instance
+// serves every client of a frontend.
+type Stage interface {
+	// Name returns the instance name the spec assigned (metrics and span
+	// annotations use it).
+	Name() string
+	// Resolve answers the query or passes it down the chain.
+	Resolve(ctx context.Context, q *Query) (*Response, error)
+}
+
+// LookupFunc is the terminal resolution the pipeline wraps — a frontend's
+// (or single resolver's) existing datapath.
+type LookupFunc func(name dnswire.Name, qtype dnswire.Type) (*resolver.Result, error)
+
+// Env is everything the graph builder hands to stage constructors.
+type Env struct {
+	// Lookup is the terminal datapath the "resolver" stage calls.
+	Lookup LookupFunc
+	// Clock drives rate-limiter refill and response-cache decay; nil
+	// means wall time.
+	Clock simnet.Clock
+	// Registry, when non-nil, backs each stage's mw.<name>.* counters.
+	Registry *obs.Registry
+}
+
+func (e Env) clock() simnet.Clock {
+	if e.Clock == nil {
+		return simnet.WallClock{}
+	}
+	return e.Clock
+}
+
+// counter registers a mw.<stage>.<what> counter, or returns the nil-safe
+// no-op counter when no registry is attached.
+func (e Env) counter(stage, what string) *obs.Counter {
+	if e.Registry == nil {
+		return nil
+	}
+	return e.Registry.Counter("mw." + stage + "." + what)
+}
+
+// Pipeline is a compiled stage graph with a single entry point.
+type Pipeline struct {
+	entry  Stage
+	stages []Stage // every stage, in spec order (entry may be any of them)
+	spec   string  // the source text, for introspection and reload diffing
+}
+
+// Resolve runs the query through the graph.
+func (p *Pipeline) Resolve(ctx context.Context, q *Query) (*Response, error) {
+	return p.entry.Resolve(ctx, q)
+}
+
+// Stages lists the instance names in spec order — "resolver" alone for
+// the default pipeline.
+func (p *Pipeline) Stages() []string {
+	out := make([]string, len(p.stages))
+	for i, s := range p.stages {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// Spec returns the source text the pipeline was built from ("" for the
+// default pipeline).
+func (p *Pipeline) Spec() string { return p.spec }
+
+// Default builds the zero-config pipeline: one terminal resolver stage.
+// It adds two pointer hops and no behavior to the wrapped datapath.
+func Default(env Env) *Pipeline {
+	t := &resolverStage{name: "resolver", lookup: env.Lookup}
+	return &Pipeline{entry: t, stages: []Stage{t}}
+}
+
+// refused builds the REFUSED message every policy-refusal path returns.
+func refused(q *Query) *resolver.Result {
+	return &resolver.Result{Msg: &dnswire.Message{
+		Header:   dnswire.Header{QR: true, RA: true, RCode: dnswire.RCodeRefused},
+		Question: []dnswire.Question{{Name: q.Name, Type: q.Type, Class: dnswire.ClassIN}},
+	}}
+}
+
+// copyMsg shallow-copies a message with fresh section slices, so stages
+// that rewrite a response (ttlmod, collapse) never mutate a message that
+// may be shared with a cache entry or a coalesced follower.
+func copyMsg(m *dnswire.Message) *dnswire.Message {
+	cp := &dnswire.Message{Header: m.Header}
+	cp.Question = append([]dnswire.Question(nil), m.Question...)
+	cp.Answer = append([]dnswire.RR(nil), m.Answer...)
+	cp.Authority = append([]dnswire.RR(nil), m.Authority...)
+	cp.Additional = append([]dnswire.RR(nil), m.Additional...)
+	return cp
+}

@@ -97,6 +97,14 @@ const (
 	OutcomeTimeout
 	// OutcomeError: an upstream exchange that failed for another reason.
 	OutcomeError
+	// OutcomeBlocked: answered by a middleware blocklist or static-answer
+	// stage without consulting the resolver. (Appended for the middleware
+	// plane; the binary encoding stores Outcome as a raw byte, so new
+	// values append only.)
+	OutcomeBlocked
+	// OutcomeLimited: refused (or dropped) by a middleware per-client
+	// rate-limiter stage.
+	OutcomeLimited
 )
 
 // String renders the outcome's JSONL spelling.
@@ -114,6 +122,10 @@ func (o Outcome) String() string {
 		return "timeout"
 	case OutcomeError:
 		return "error"
+	case OutcomeBlocked:
+		return "blocked"
+	case OutcomeLimited:
+		return "limited"
 	}
 	return ""
 }
@@ -135,6 +147,10 @@ func ParseOutcome(s string) (Outcome, error) {
 		return OutcomeTimeout, nil
 	case "error":
 		return OutcomeError, nil
+	case "blocked":
+		return OutcomeBlocked, nil
+	case "limited":
+		return OutcomeLimited, nil
 	}
 	return 0, fmt.Errorf("qlog: unknown outcome %q", s)
 }

@@ -1,6 +1,7 @@
 package dnsttl
 
 import (
+	"context"
 	"crypto/tls"
 	"net/netip"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"dnsttl/internal/authoritative"
 	"dnsttl/internal/dnswire"
+	"dnsttl/internal/middleware"
 	"dnsttl/internal/push"
 	"dnsttl/internal/qlog"
 )
@@ -80,8 +82,9 @@ func (rs *RecursiveServer) serveDNS(wire []byte, from netip.Addr, tap *qlog.Tap)
 	if tap != nil {
 		start = time.Now()
 	}
-	res, err := rs.Client.Lookup(name, qtype)
-	if err != nil || res == nil {
+	pres, err := rs.Client.resolveQuery(context.Background(),
+		&middleware.Query{Name: name, Type: qtype, Client: from})
+	if err != nil || pres == nil || pres.Result == nil {
 		if tap != nil {
 			tap.ResponseOut(from, name, qtype, RCodeServFail, 0, qlog.OutcomeError, time.Since(start))
 		}
@@ -91,9 +94,15 @@ func (rs *RecursiveServer) serveDNS(wire []byte, from netip.Addr, tap *qlog.Tap)
 		out, _ := Encode(resp)
 		return out
 	}
+	res := pres.Result
 	if tap != nil {
 		tap.ResponseOut(from, name, qtype, res.Msg.Header.RCode, res.AnswerTTL,
-			lookupOutcome(res), time.Since(start))
+			pipelineOutcome(pres), time.Since(start))
+	}
+	if pres.Drop {
+		// The rate limiter asked for silence: the client sees a timeout,
+		// exactly what an attacker flooding a limited bucket deserves.
+		return nil
 	}
 	msg := res.Msg
 	msg.Header.ID = q.Header.ID
@@ -105,8 +114,19 @@ func (rs *RecursiveServer) serveDNS(wire []byte, from netip.Addr, tap *qlog.Tap)
 	return out
 }
 
-// lookupOutcome maps a resolution's trace onto the qlog outcome taxonomy.
-func lookupOutcome(res *Result) qlog.Outcome {
+// pipelineOutcome maps a pipeline response onto the qlog outcome
+// taxonomy: middleware verdicts first (blocked, limited), then the
+// resolution trace (coalesced, stale, hit, miss).
+func pipelineOutcome(resp *middleware.Response) qlog.Outcome {
+	switch resp.Verdict {
+	case middleware.VerdictBlocked:
+		return qlog.OutcomeBlocked
+	case middleware.VerdictLimited:
+		return qlog.OutcomeLimited
+	case middleware.VerdictCached:
+		return qlog.OutcomeHit
+	}
+	res := resp.Result
 	switch {
 	case res.Coalesced:
 		return qlog.OutcomeCoalesced

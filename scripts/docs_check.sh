@@ -9,6 +9,9 @@
 #  2. Every metric name the code can register — the resolver/authoritative
 #     Metric* constants, the cache.Instrument gauge suffixes, and the
 #     farm.fe<i>.* counters — appears in docs/.
+#  3. Every middleware stage kind registered in internal/middleware (the
+#     register("kind", ...) table) has an entry in docs/middleware.md, and
+#     every per-stage counter suffix is documented as mw.<stage>.<suffix>.
 #
 # Exits non-zero listing every undocumented name.
 set -euo pipefail
@@ -47,8 +50,30 @@ for m in $metrics; do
     fi
 done
 
+# --- 3. Middleware stage kinds --------------------------------------------
+# Every kind in the register("kind", ...) table must have a catalog entry in
+# docs/middleware.md; every per-stage counter suffix must be documented as
+# mw.<stage>.<suffix>.
+mwdocs=$(cat docs/middleware.md)
+kinds=$(grep -rhoE 'register\("[a-z]+"' internal/middleware/*.go |
+    grep -oE '"[a-z]+"' | tr -d '"' | sort -u)
+for k in $kinds; do
+    if ! grep -qE "^#+ .*\`$k\`|^\| *\`$k\`" <<<"$mwdocs"; then
+        echo "docs_check: stage kind $k (internal/middleware) has no entry in docs/middleware.md" >&2
+        fail=1
+    fi
+done
+suffixes=$(grep -rhoE 'counter\(sp\.name, "[a-z]+"\)' internal/middleware/*.go |
+    grep -oE '"[a-z]+"' | tr -d '"' | sort -u)
+for s in $suffixes; do
+    if ! grep -qF -- "mw.<stage>.$s" <<<"$docs"; then
+        echo "docs_check: middleware counter mw.<stage>.$s is not documented in docs/" >&2
+        fail=1
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
-    echo "docs_check: FAILED — update docs/operations.md / docs/architecture.md" >&2
+    echo "docs_check: FAILED — update docs/operations.md / docs/architecture.md / docs/middleware.md" >&2
     exit 1
 fi
-echo "docs_check: OK ($(wc -w <<<"$flags") flags, $(wc -w <<<"$metrics") metrics all documented)"
+echo "docs_check: OK ($(wc -w <<<"$flags") flags, $(wc -w <<<"$metrics") metrics, $(wc -w <<<"$kinds") stage kinds all documented)"
